@@ -1,0 +1,49 @@
+"""Throughput of this reproduction itself: compilation speed and
+simulator speed (not paper numbers — engineering health metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompilerOptions, compile_source
+from repro.machine import simulate
+from repro.perf import PerfEstimator
+from repro.programs import (
+    appsp_source,
+    dgefa_source,
+    tomcatv_inputs,
+    tomcatv_source,
+)
+
+
+@pytest.mark.parametrize(
+    "name,source",
+    [
+        ("tomcatv", tomcatv_source(n=513, niter=5, procs=16)),
+        ("dgefa", dgefa_source(n=1000, procs=16)),
+        ("appsp-2d", appsp_source(nx=64, ny=64, nz=64, niter=5, procs=16, distribution="2d")),
+    ],
+)
+def test_compile_throughput(benchmark, name, source):
+    compiled = benchmark(compile_source, source, CompilerOptions())
+    assert compiled.comm is not None
+
+
+def test_estimate_throughput(benchmark):
+    compiled = compile_source(
+        tomcatv_source(n=513, niter=5, procs=16), CompilerOptions()
+    )
+    estimate = benchmark(lambda: PerfEstimator(compiled).estimate())
+    assert estimate.total_time > 0
+
+
+def test_simulator_throughput(benchmark):
+    compiled = compile_source(
+        tomcatv_source(n=8, niter=1, procs=4), CompilerOptions()
+    )
+    inputs = tomcatv_inputs(8)
+
+    def run():
+        return simulate(compiled, inputs)
+
+    sim = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert sim.stats.unexpected_fetches == 0

@@ -1,0 +1,126 @@
+"""Paper Figures 1–7 as compiler-decision benchmarks.
+
+Each benchmark compiles the figure's code fragment and asserts the
+exact decision the paper describes (Figure 3 is the DetermineMapping
+pseudocode itself, exercised by every other figure)."""
+
+import pytest
+
+from repro.core import (
+    AlignedTo,
+    CompilerOptions,
+    PrivateNoAlign,
+    ReductionMapping,
+    compile_source,
+)
+from repro.ir import IfStmt, ScalarRef
+from repro.programs import (
+    figure1_source,
+    figure2_source,
+    figure4_source,
+    figure5_source,
+    figure6_source,
+    figure7_source,
+)
+
+
+def scalar_mappings(compiled, name):
+    return [
+        compiled.scalar_mapping_of(s.stmt_id)
+        for s in compiled.proc.assignments()
+        if isinstance(s.lhs, ScalarRef) and s.lhs.symbol.name == name
+    ]
+
+
+def test_figure1_mapping_choices(benchmark):
+    compiled = benchmark.pedantic(
+        compile_source,
+        args=(figure1_source(n=513, procs=16), CompilerOptions()),
+        rounds=1,
+        iterations=1,
+    )
+    x = scalar_mappings(compiled, "X")[0]
+    y = scalar_mappings(compiled, "Y")[0]
+    z = scalar_mappings(compiled, "Z")[0]
+    m = scalar_mappings(compiled, "M")[1]
+    assert isinstance(x, AlignedTo) and x.is_consumer
+    assert isinstance(y, AlignedTo) and not y.is_consumer
+    assert isinstance(z, PrivateNoAlign)
+    assert isinstance(m, PrivateNoAlign)
+    benchmark.extra_info["decisions"] = {
+        "x": str(x), "y": str(y), "z": str(z), "m": str(m)
+    }
+
+
+def test_figure2_subscript_consumers(benchmark):
+    compiled = benchmark.pedantic(
+        compile_source,
+        args=(figure2_source(n=512, procs=16), CompilerOptions()),
+        rounds=1,
+        iterations=1,
+    )
+    # H(i,p) local -> no events on H; G(q,i) remote -> events on G.
+    assert not [e for e in compiled.comm.events if e.ref.symbol.name == "H"]
+    assert [e for e in compiled.comm.events if e.ref.symbol.name == "G"]
+
+
+def test_figure4_align_levels(benchmark):
+    from repro.core import align_level, build_context
+    from repro.ir import ArrayElemRef, parse_and_build
+
+    def run():
+        ctx = build_context(parse_and_build(figure4_source(n=64, p0=4, p1=4)))
+        levels = {}
+        for stmt in ctx.proc.assignments():
+            if isinstance(stmt.lhs, ArrayElemRef):
+                name = stmt.lhs.symbol.name
+                levels[name] = align_level(
+                    stmt.lhs, ctx.proc, ctx.ssa, ctx.array_mappings[name]
+                )
+        return levels
+
+    levels = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert levels == {"A": 2, "B": 3}
+    benchmark.extra_info["align_levels"] = levels
+
+
+def test_figure5_reduction_mapping(benchmark):
+    compiled = benchmark.pedantic(
+        compile_source,
+        args=(figure5_source(n=512, p0=4, p1=4), CompilerOptions()),
+        rounds=1,
+        iterations=1,
+    )
+    mapping = scalar_mappings(compiled, "S")[1]
+    assert isinstance(mapping, ReductionMapping)
+    assert mapping.replicated_grid_dims == (1,)
+    assert not [e for e in compiled.comm.events if e.ref.symbol.name == "A"]
+
+
+def test_figure6_partial_privatization(benchmark):
+    compiled = benchmark.pedantic(
+        compile_source,
+        args=(figure6_source(n=32, p0=4, p1=4), CompilerOptions()),
+        rounds=1,
+        iterations=1,
+    )
+    privs = compiled.array_result.privatizations
+    assert len(privs) == 1 and privs[0].is_partial
+    assert privs[0].privatized_grid_dims == (1,)
+    assert privs[0].partitioned_dims == {1: 0}
+
+
+def test_figure7_control_flow_privatization(benchmark):
+    compiled = benchmark.pedantic(
+        compile_source,
+        args=(figure7_source(n=512, procs=16), CompilerOptions()),
+        rounds=1,
+        iterations=1,
+    )
+    decisions = [
+        compiled.cf_decisions[s.stmt_id]
+        for s in compiled.proc.all_stmts()
+        if isinstance(s, IfStmt)
+    ]
+    assert decisions and all(d.privatized for d in decisions)
+    assert not compiled.comm.events

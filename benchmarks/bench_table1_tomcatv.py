@@ -1,0 +1,86 @@
+"""Paper Table 1 — TOMCATV, (*, BLOCK), n = 513.
+
+Columns: scalar Replication / Producer Alignment / Selected Alignment;
+rows: 1, 2, 4, 8, 16 processors. The benchmark times this
+reproduction's compile+estimate pipeline; the simulated SP2 execution
+time (the paper's quantity) is attached as extra_info and asserted to
+follow the paper's shape:
+
+* only Selected Alignment achieves speedup,
+* Selected beats the baselines by > 2 orders of magnitude at P = 16.
+"""
+
+import pytest
+
+from repro.core import CompilerOptions, compile_source
+from repro.perf import PerfEstimator
+from repro.programs import tomcatv_source
+from repro.report import table1_tomcatv
+
+from conftest import record_table
+
+N = 513
+NITER = 5
+STRATEGIES = ["replication", "producer", "selected"]
+PROCS = [1, 2, 4, 8, 16]
+
+
+def _run(strategy, procs):
+    compiled = compile_source(
+        tomcatv_source(n=N, niter=NITER, procs=procs),
+        CompilerOptions(strategy=strategy),
+    )
+    return PerfEstimator(compiled).estimate()
+
+
+@pytest.mark.parametrize("procs", PROCS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_table1_cell(benchmark, strategy, procs):
+    estimate = benchmark.pedantic(
+        _run, args=(strategy, procs), rounds=1, iterations=1
+    )
+    benchmark.extra_info["simulated_time_s"] = round(estimate.total_time, 4)
+    benchmark.extra_info["strategy"] = strategy
+    benchmark.extra_info["procs"] = procs
+
+
+def test_table1_full(benchmark, output_dir):
+    table = benchmark.pedantic(
+        table1_tomcatv,
+        kwargs=dict(n=N, niter=NITER, procs=tuple(PROCS)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(output_dir, "table1_tomcatv", table)
+    print()
+    print(table.render())
+
+    selected = [table.cell(p, "Selected Alignment") for p in PROCS]
+    replication = [table.cell(p, "Replication") for p in PROCS]
+    producer = [table.cell(p, "Producer Alignment") for p in PROCS]
+    # Selected speeds up monotonically.
+    assert all(b < a for a, b in zip(selected, selected[1:]))
+    # The baselines never achieve speedup over serial.
+    assert min(replication[1:]) >= 0.9 * replication[0]
+    assert min(producer[1:]) >= 0.9 * producer[0]
+    # More than two orders of magnitude at 16 processors.
+    assert max(replication[-1], producer[-1]) / selected[-1] > 100
+
+
+def test_table1_simulator_crosscheck(benchmark, output_dir):
+    """The same Table-1 comparison, measured by actually executing on
+    the simulated machine at a reduced size: the ordering must match
+    the analytic table's."""
+    from repro.report import table1_tomcatv_simulated
+
+    table = benchmark.pedantic(
+        table1_tomcatv_simulated,
+        kwargs=dict(n=12, niter=2, procs=(2, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(output_dir, "table1_tomcatv_simulated", table)
+    for procs in (2, 4):
+        selected = table.cell(procs, "Selected Alignment")
+        assert selected < table.cell(procs, "Replication")
+        assert selected < table.cell(procs, "Producer Alignment")

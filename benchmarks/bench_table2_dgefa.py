@@ -1,0 +1,55 @@
+"""Paper Table 2 — DGEFA, (*, CYCLIC), n = 1000.
+
+Columns: Default (replicated maxloc reduction scalars) vs Alignment
+(Section 2.3 reduction mapping). Shape asserted: Alignment wins, and
+the Default's overhead is an increasing share of the runtime with P.
+"""
+
+import pytest
+
+from repro.core import CompilerOptions, compile_source
+from repro.perf import PerfEstimator
+from repro.programs import dgefa_source
+from repro.report import table2_dgefa
+
+from conftest import record_table
+
+N = 1000
+PROCS = [2, 4, 8, 16]
+
+
+def _run(align, procs):
+    compiled = compile_source(
+        dgefa_source(n=N, procs=procs),
+        CompilerOptions(align_reductions=align),
+    )
+    return PerfEstimator(compiled).estimate()
+
+
+@pytest.mark.parametrize("procs", PROCS)
+@pytest.mark.parametrize("align", [False, True], ids=["default", "alignment"])
+def test_table2_cell(benchmark, align, procs):
+    estimate = benchmark.pedantic(_run, args=(align, procs), rounds=1, iterations=1)
+    benchmark.extra_info["simulated_time_s"] = round(estimate.total_time, 4)
+    benchmark.extra_info["align_reductions"] = align
+    benchmark.extra_info["procs"] = procs
+
+
+def test_table2_full(benchmark, output_dir):
+    table = benchmark.pedantic(
+        table2_dgefa, kwargs=dict(n=N, procs=tuple(PROCS)), rounds=1, iterations=1
+    )
+    record_table(output_dir, "table2_dgefa", table)
+    print()
+    print(table.render())
+
+    default = [table.cell(p, "Default") for p in PROCS]
+    aligned = [table.cell(p, "Alignment") for p in PROCS]
+    # Alignment wins at every processor count.
+    assert all(a < d for a, d in zip(aligned, default))
+    # Both versions speed up with P (elimination itself is parallel).
+    assert aligned[-1] < aligned[0]
+    assert default[-1] < default[0]
+    # The replicated reduction's overhead share grows with P.
+    shares = [(d - a) / a for d, a in zip(default, aligned)]
+    assert shares[-1] > shares[0]

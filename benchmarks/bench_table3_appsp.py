@@ -1,0 +1,85 @@
+"""Paper Table 3 — APPSP, n = 64.
+
+Columns: 1-D ± array privatization, 2-D ± partial privatization.
+Shape asserted: the no-privatization variants are far slower and do not
+scale (the paper aborted them after >1 day); partial privatization is
+what makes the 2-D distribution usable at all.
+"""
+
+import pytest
+
+from repro.core import CompilerOptions, compile_source
+from repro.perf import PerfEstimator
+from repro.programs import appsp_source
+from repro.report import table3_appsp
+
+from conftest import record_table
+
+N = 64
+NITER = 5
+PROCS = [2, 4, 8, 16]
+VARIANTS = {
+    "1d-nopriv": ("1d", dict(privatize_arrays=False)),
+    "1d-priv": ("1d", {}),
+    "2d-nopartial": ("2d", dict(partial_privatization=False)),
+    "2d-partial": ("2d", {}),
+}
+
+
+def _run(variant, procs):
+    dist, opts = VARIANTS[variant]
+    compiled = compile_source(
+        appsp_source(nx=N, ny=N, nz=N, niter=NITER, procs=procs, distribution=dist),
+        CompilerOptions(**opts),
+    )
+    return PerfEstimator(compiled).estimate()
+
+
+@pytest.mark.parametrize("procs", PROCS)
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_table3_cell(benchmark, variant, procs):
+    estimate = benchmark.pedantic(_run, args=(variant, procs), rounds=1, iterations=1)
+    benchmark.extra_info["simulated_time_s"] = round(estimate.total_time, 4)
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["procs"] = procs
+
+
+def test_table3_full(benchmark, output_dir):
+    table = benchmark.pedantic(
+        table3_appsp,
+        kwargs=dict(n=N, niter=NITER, procs=tuple(PROCS)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(output_dir, "table3_appsp", table)
+    print()
+    print(table.render())
+
+    nopriv_1d = [table.cell(p, "1-D, No Array Priv.") for p in PROCS]
+    priv_1d = [table.cell(p, "1-D, Priv.") for p in PROCS]
+    nopart_2d = [table.cell(p, "2-D, No Partial Priv.") for p in PROCS]
+    part_2d = [table.cell(p, "2-D, Partial Priv.") for p in PROCS]
+    # Privatization always wins.
+    assert all(b < a for a, b in zip(nopriv_1d, priv_1d))
+    assert all(b < a for a, b in zip(nopart_2d, part_2d))
+    # The no-privatization versions do not scale.
+    assert nopriv_1d[-1] >= nopriv_1d[0]
+    assert nopart_2d[-1] >= nopart_2d[0]
+
+
+def test_table3_simulator_crosscheck(benchmark, output_dir):
+    """Table 3's privatization comparisons re-measured by execution on
+    the simulated machine."""
+    from repro.report import table3_appsp_simulated
+
+    table = benchmark.pedantic(
+        table3_appsp_simulated,
+        kwargs=dict(n=8, niter=2, procs=(4,)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(output_dir, "table3_appsp_simulated", table)
+    assert table.cell(4, "2-D, Partial Priv.") < table.cell(
+        4, "2-D, No Partial Priv."
+    )
+    assert table.cell(4, "1-D, Priv.") < table.cell(4, "1-D, No Array Priv.")

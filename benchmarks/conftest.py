@@ -1,0 +1,25 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates a piece of the paper's evaluation: the
+timed quantity is this reproduction's compile+estimate (or simulate)
+pipeline, and the *simulated SP2 execution time* — the number that
+corresponds to the paper's tables — is attached as
+``benchmark.extra_info["simulated_time_s"]`` and also written to
+``benchmarks/output/``.
+"""
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def record_table(output_dir, name, table):
+    (output_dir / f"{name}.txt").write_text(table.render() + "\n")

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The paper's future-work section, implemented: automatic array
+privatization and global message combining — plus the related-work
+comparison against scalar expansion.
+
+Run:  python examples/future_work.py
+"""
+
+from repro import CompilerOptions, PerfEstimator, compile_source
+from repro.comm import combining_stats
+from repro.core import compile_procedure
+from repro.core.expansion import expand_scalars
+from repro.perf import memory_report
+from repro.programs import appsp_source, tomcatv_source
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def auto_privatization() -> None:
+    banner("Future work 1: automatic array privatization (no NEW clause)")
+    src = appsp_source(
+        nx=32, ny=32, nz=32, niter=2, procs=16,
+        distribution="2d", use_new_clause=False,
+    )
+    baseline = compile_source(src, CompilerOptions())
+    inferred = compile_source(src, CompilerOptions(auto_privatize_arrays=True))
+    t_base = PerfEstimator(baseline).estimate().total_time
+    t_auto = PerfEstimator(inferred).estimate().total_time
+    print(f"  without inference: C replicated, {t_base:8.3f} s (simulated)")
+    for priv in inferred.array_result.privatizations:
+        print(f"  inferred: {priv}")
+    print(f"  with inference:                 {t_auto:8.3f} s (simulated)")
+
+
+def message_combining() -> None:
+    banner("Future work 2: global message combining across loop nests")
+    src = tomcatv_source(n=513, niter=5, procs=16)
+    plain = compile_source(src, CompilerOptions())
+    combined = compile_source(src, CompilerOptions(combine_messages=True))
+    stats = combining_stats(plain.comm, combined.comm)
+    t_plain = PerfEstimator(plain).estimate()
+    t_combined = PerfEstimator(combined).estimate()
+    print(
+        f"  transfers: {stats['events_before']} -> {stats['events_after']} "
+        f"({stats['duplicates_removed']} duplicates removed, "
+        f"{stats['messages_merged']} merged)"
+    )
+    print(f"  comm time: {t_plain.comm_time:.4f} s -> {t_combined.comm_time:.4f} s")
+
+
+def expansion_comparison() -> None:
+    banner("Related work: privatization vs scalar expansion [16]")
+    src = tomcatv_source(n=257, niter=3, procs=16)
+    priv = compile_source(src, CompilerOptions())
+    result = expand_scalars(src, num_procs=16)
+    expanded = compile_procedure(result.proc, CompilerOptions())
+    t_priv = PerfEstimator(priv).estimate().total_time
+    t_exp = PerfEstimator(expanded).estimate().total_time
+    m_priv = memory_report(priv).total_bytes / 1024
+    m_exp = memory_report(expanded).total_bytes / 1024
+    print(f"  expanded {len(result.expanded)} scalars: "
+          f"{', '.join(sorted(result.expanded))}")
+    print(f"  privatization: {t_priv:7.4f} s, {m_priv:8.1f} KiB per processor")
+    print(f"  expansion:     {t_exp:7.4f} s, {m_exp:8.1f} KiB per processor")
+    print(
+        "  -> the paper's framework delivers expansion's parallelism at a\n"
+        "     fraction of its per-processor memory."
+    )
+
+
+def main() -> None:
+    auto_privatization()
+    message_combining()
+    expansion_comparison()
+    print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Regenerate every table of the paper's evaluation section
+(Gupta, IPPS 1997, Section 5) with the analytic SP2-class cost model.
+
+Run:  python examples/paper_tables.py [--fast]
+
+``--fast`` uses reduced problem sizes for a quick look.
+"""
+
+import sys
+
+from repro.report import table1_tomcatv, table2_dgefa, table3_appsp
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    if fast:
+        tables = [
+            table1_tomcatv(n=129, niter=3, procs=(1, 4, 16)),
+            table2_dgefa(n=300, procs=(4, 16)),
+            table3_appsp(n=32, niter=2, procs=(4, 16)),
+        ]
+    else:
+        tables = [table1_tomcatv(), table2_dgefa(), table3_appsp()]
+    for table in tables:
+        print(table.render())
+        print()
+    print(
+        "Reminder: absolute seconds come from an analytic model of a\n"
+        "1997 SP2-class machine; the reproduction targets the paper's\n"
+        "orderings, ratios and scaling trends (see EXPERIMENTS.md)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Show the generated SPMD node programs for the paper's benchmarks:
+guards, shrunk loop bounds, hoisted (vectorized) communication, and
+reduction combines — with and without message combining.
+
+Run:  python examples/spmd_codegen.py
+"""
+
+from repro import CompilerOptions, compile_source, print_spmd
+from repro.programs import dgefa_source, figure1_source, tomcatv_source
+
+
+def show(title: str, source: str, options: CompilerOptions) -> None:
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(print_spmd(compile_source(source, options)))
+
+
+def main() -> None:
+    show(
+        "Figure 1 under the paper's algorithm",
+        figure1_source(n=100, procs=4),
+        CompilerOptions(),
+    )
+    show(
+        "TOMCATV (n = 32) — vectorized halo exchange + shrunk j loops",
+        tomcatv_source(n=32, niter=2, procs=4),
+        CompilerOptions(combine_messages=True),
+    )
+    show(
+        "DGEFA (n = 16) — cyclic columns, reduction-aligned pivot search",
+        dgefa_source(n=16, procs=4),
+        CompilerOptions(),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""repro — reproduction of Manish Gupta, "On Privatization of Variables
+for Data-Parallel Execution" (IPPS 1997).
+
+The package contains a from-scratch mini-HPF compiler with the paper's
+privatization framework (scalar mapping, reduction mapping, full and
+partial array privatization, control-flow privatization), an
+owner-computes partitioner, communication analysis with message
+vectorization, a simulated IBM SP2-class distributed-memory machine,
+and the benchmark programs of the paper's evaluation (TOMCATV, DGEFA,
+APPSP).
+
+Quickstart::
+
+    from repro import compile_source, CompilerOptions, PerfEstimator
+
+    compiled = compile_source(source_text, CompilerOptions(num_procs=16))
+    print(compiled.report())
+    print(PerfEstimator(compiled).estimate().summary())
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+regeneration of the paper's tables.
+"""
+
+from .codegen import SequentialInterpreter, print_spmd, run_sequential
+from .comm import SP2, MachineModel
+from .core import (
+    AlignedTo,
+    AnalysisContext,
+    ArrayPrivatization,
+    CompiledProgram,
+    CompilerOptions,
+    FullyReplicatedReduction,
+    PrivateNoAlign,
+    Replicated,
+    ReductionMapping,
+    ScalarMapping,
+    build_context,
+    compile_procedure,
+    compile_source,
+)
+from .ir import Procedure, parse_and_build
+from .lang import parse_program
+from .machine import SPMDSimulator, simulate
+from .mapping import ProcessorGrid
+from .perf import PerfEstimator, estimate_performance
+from .report import all_tables, table1_tomcatv, table2_dgefa, table3_appsp
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SequentialInterpreter",
+    "print_spmd",
+    "run_sequential",
+    "SP2",
+    "MachineModel",
+    "AlignedTo",
+    "AnalysisContext",
+    "ArrayPrivatization",
+    "CompiledProgram",
+    "CompilerOptions",
+    "FullyReplicatedReduction",
+    "PrivateNoAlign",
+    "Replicated",
+    "ReductionMapping",
+    "ScalarMapping",
+    "build_context",
+    "compile_procedure",
+    "compile_source",
+    "Procedure",
+    "parse_and_build",
+    "parse_program",
+    "SPMDSimulator",
+    "simulate",
+    "ProcessorGrid",
+    "PerfEstimator",
+    "estimate_performance",
+    "all_tables",
+    "table1_tomcatv",
+    "table2_dgefa",
+    "table3_appsp",
+    "__version__",
+]

@@ -1,0 +1,65 @@
+"""Program analyses: dominance, pruned SSA, liveness, constant
+propagation, induction variables, reductions, array dependence, and
+privatizability."""
+
+from .array_sections import (
+    SectionDim,
+    auto_privatizable,
+    auto_privatizable_arrays,
+    ref_section,
+)
+from .constprop import ConstPropInfo, propagate_constants
+from .dataflow import (
+    LivenessInfo,
+    array_reads_in,
+    array_writes_in,
+    compute_liveness,
+    upward_exposed_uses,
+)
+from .dependence import (
+    Dependence,
+    array_dependences,
+    array_written_in,
+    read_may_see_loop_write,
+    test_dependence,
+)
+from .dominance import DominatorInfo, compute_dominance
+from .induction import (
+    InductionVar,
+    find_induction_vars,
+    substitute_induction_vars,
+)
+from .privatizable import PrivatizabilityInfo
+from .reductions import Reduction, find_reductions, reduction_for_def
+from .ssa import SSADef, SSAInfo, build_ssa
+
+__all__ = [
+    "SectionDim",
+    "auto_privatizable",
+    "auto_privatizable_arrays",
+    "ref_section",
+    "ConstPropInfo",
+    "propagate_constants",
+    "LivenessInfo",
+    "array_reads_in",
+    "array_writes_in",
+    "compute_liveness",
+    "upward_exposed_uses",
+    "Dependence",
+    "array_dependences",
+    "array_written_in",
+    "read_may_see_loop_write",
+    "test_dependence",
+    "DominatorInfo",
+    "compute_dominance",
+    "InductionVar",
+    "find_induction_vars",
+    "substitute_induction_vars",
+    "PrivatizabilityInfo",
+    "Reduction",
+    "find_reductions",
+    "reduction_for_def",
+    "SSADef",
+    "SSAInfo",
+    "build_ssa",
+]

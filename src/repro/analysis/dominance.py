@@ -1,0 +1,112 @@
+"""Dominator tree and dominance frontiers.
+
+Implementation of Cooper, Harvey & Kennedy, "A Simple, Fast Dominance
+Algorithm", operating on the statement-level CFG. Consumed by the SSA
+construction pass (paper Section 2.2 requires SSA form: "...follows an
+earlier program analysis phase which constructs the static single
+assignment (SSA) representation").
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import CFG, CFGNode
+
+
+class DominatorInfo:
+    """Immediate dominators, dominator-tree children, and dominance
+    frontiers for all nodes reachable from the CFG entry."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.rpo = cfg.reverse_postorder()
+        self._rpo_index = {node.index: k for k, node in enumerate(self.rpo)}
+        self.idom: dict[int, CFGNode] = {}
+        self._compute_idoms()
+        self.children: dict[int, list[CFGNode]] = {node.index: [] for node in self.rpo}
+        for node in self.rpo:
+            if node is not cfg.entry:
+                self.children[self.idom[node.index].index].append(node)
+        self.frontier: dict[int, set[int]] = {node.index: set() for node in self.rpo}
+        self._compute_frontiers()
+
+    # -- idoms -----------------------------------------------------------------
+
+    def _compute_idoms(self) -> None:
+        entry = self.cfg.entry
+        self.idom[entry.index] = entry
+        changed = True
+        while changed:
+            changed = False
+            for node in self.rpo:
+                if node is entry:
+                    continue
+                processed_preds = [
+                    p
+                    for p in node.preds
+                    if p.index in self.idom and p.index in self._rpo_index
+                ]
+                if not processed_preds:
+                    continue
+                new_idom = processed_preds[0]
+                for pred in processed_preds[1:]:
+                    new_idom = self._intersect(pred, new_idom)
+                if self.idom.get(node.index) is not new_idom:
+                    self.idom[node.index] = new_idom
+                    changed = True
+
+    def _intersect(self, a: CFGNode, b: CFGNode) -> CFGNode:
+        while a.index != b.index:
+            while self._rpo_index[a.index] > self._rpo_index[b.index]:
+                a = self.idom[a.index]
+            while self._rpo_index[b.index] > self._rpo_index[a.index]:
+                b = self.idom[b.index]
+        return a
+
+    # -- frontiers --------------------------------------------------------------
+
+    def _compute_frontiers(self) -> None:
+        for node in self.rpo:
+            if len(node.preds) < 2:
+                continue
+            for pred in node.preds:
+                if pred.index not in self.idom:
+                    continue  # unreachable predecessor
+                runner = pred
+                while runner.index != self.idom[node.index].index:
+                    self.frontier[runner.index].add(node.index)
+                    runner = self.idom[runner.index]
+
+    # -- queries ---------------------------------------------------------------------
+
+    def dominates(self, a: CFGNode, b: CFGNode) -> bool:
+        """True when ``a`` dominates ``b`` (reflexive)."""
+        node = b
+        while True:
+            if node.index == a.index:
+                return True
+            parent = self.idom.get(node.index)
+            if parent is None or parent.index == node.index:
+                return node.index == a.index
+            node = parent
+
+    def strictly_dominates(self, a: CFGNode, b: CFGNode) -> bool:
+        return a.index != b.index and self.dominates(a, b)
+
+    def iterated_frontier(self, nodes: list[CFGNode]) -> set[int]:
+        """Iterated dominance frontier of a node set (phi placement)."""
+        result: set[int] = set()
+        work = [n.index for n in nodes if n.index in self.frontier]
+        on_work = set(work)
+        while work:
+            index = work.pop()
+            for f in self.frontier.get(index, ()):
+                if f not in result:
+                    result.add(f)
+                    if f not in on_work:
+                        on_work.add(f)
+                        work.append(f)
+        return result
+
+
+def compute_dominance(cfg: CFG) -> DominatorInfo:
+    return DominatorInfo(cfg)

@@ -1,0 +1,261 @@
+"""Induction-variable recognition and closed-form substitution.
+
+Paper, Section 2.1: "Any scalar variable recognized as an induction
+variable, such as m in Figure 1, should be privatized without
+alignment. The phpf compiler replaces the rhs of that assignment
+statement by the closed-form expression for the value of that induction
+variable as a function of surrounding loop indices."
+
+We recognize *basic* induction variables — a single unconditional
+``s = s + c`` (or ``s = s - c``) update per loop iteration whose initial
+value is a compile-time constant — and rewrite the update statement's
+rhs to the closed form, e.g. ``m = m + 1`` with ``m = 2`` before a
+``DO i = 2, n-1`` loop becomes ``m = i + 1``.
+
+After rewriting, the caller must rebuild CFG/SSA (the pipeline driver in
+:mod:`repro.core.driver` does this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.cfg import CFG
+from ..ir.expr import BinOp, Const, Expr, ScalarRef, affine_form
+from ..ir.program import Procedure
+from ..ir.stmt import AssignStmt, IfStmt, LoopStmt, Stmt
+from ..ir.symbols import ScalarType, Symbol
+from .constprop import ConstPropInfo
+from .ssa import SSAInfo
+
+
+@dataclass
+class InductionVar:
+    """A recognized basic induction variable."""
+
+    symbol: Symbol
+    loop: LoopStmt
+    update_stmt: AssignStmt
+    init_value: int
+    stride: int
+    closed_form: Expr  # value right after the update, as f(loop indices)
+
+
+def _is_unconditional_in(stmt: Stmt, loop: LoopStmt) -> bool:
+    """True when ``stmt`` is in the *direct* body of ``loop`` (not nested
+    in an inner loop or IF), hence executed exactly once per iteration."""
+    return any(s is stmt for s in loop.body)
+
+
+def _update_stride(stmt: AssignStmt, symbol: Symbol) -> int | None:
+    """If ``stmt`` is ``symbol = symbol ± c``, return the signed stride."""
+    form = affine_form(stmt.rhs)
+    if form is None:
+        return None
+    if form.coeff(symbol) != 1:
+        return None
+    if len(form.coeffs) != 1:
+        return None  # only 'symbol + const' qualifies as a *basic* IV
+    return form.const
+
+
+def _loop_bounds_const(loop: LoopStmt, const: ConstPropInfo) -> tuple[int | None, int]:
+    """(low, step) of the loop when known; step defaults to 1."""
+    low = const.eval_expr(loop.low)
+    if not isinstance(low, int):
+        low_form = affine_form(loop.low)
+        low = low_form.const if low_form is not None and low_form.is_constant else None
+    step = 1
+    if loop.step is not None:
+        step_value = const.eval_expr(loop.step)
+        if not isinstance(step_value, int):
+            return None, 1
+        step = step_value
+    return low, step
+
+
+def find_induction_vars(
+    proc: Procedure, ssa: SSAInfo, const: ConstPropInfo
+) -> list[InductionVar]:
+    """Find all basic induction variables in the procedure."""
+    result: list[InductionVar] = []
+    for loop in proc.loops():
+        # Group real defs inside the direct body per symbol.
+        for stmt in loop.body:
+            if not isinstance(stmt, AssignStmt) or not isinstance(stmt.lhs, ScalarRef):
+                continue
+            symbol = stmt.lhs.symbol
+            if symbol.type is not ScalarType.INT or symbol.is_loop_var:
+                continue
+            stride = _update_stride(stmt, symbol)
+            if stride is None or stride == 0:
+                continue
+            # The symbol must have no other def anywhere inside the loop.
+            defs_in_loop = [
+                d
+                for d in ssa.real_defs(symbol.name)
+                if d.stmt is not None and proc.encloses(loop, d.stmt)
+            ]
+            if len(defs_in_loop) != 1:
+                continue
+            # The rhs use must see the value from the previous iteration
+            # merged with the initial value (the header phi).
+            rhs_uses = [
+                r
+                for r in stmt.rhs.refs()
+                if isinstance(r, ScalarRef) and r.symbol.name == symbol.name
+            ]
+            if len(rhs_uses) != 1:
+                continue
+            seen_def = ssa.defs[ssa.use_def[rhs_uses[0].ref_id]]
+            if seen_def.kind != "phi":
+                continue
+            reaching = ssa.reaching_real_defs(rhs_uses[0])
+            outside = [d for d in reaching if d.stmt is None or not proc.encloses(loop, d.stmt)]
+            inside = [d for d in reaching if d.stmt is not None and proc.encloses(loop, d.stmt)]
+            if len(inside) != 1 or inside[0].stmt is not stmt:
+                continue
+            # Initial value must be a known integer constant.
+            init_values = {const.const_of_def(d) for d in outside}
+            if len(init_values) != 1:
+                continue
+            init = init_values.pop()
+            if not isinstance(init, int):
+                continue
+            if not _is_unconditional_in(stmt, loop):
+                continue
+            low, step = _loop_bounds_const(loop, const)
+            if low is None or step == 0:
+                continue
+            closed = _closed_form(loop, init, stride, low, step)
+            if closed is None:
+                continue
+            result.append(
+                InductionVar(
+                    symbol=symbol,
+                    loop=loop,
+                    update_stmt=stmt,
+                    init_value=init,
+                    stride=stride,
+                    closed_form=closed,
+                )
+            )
+    return result
+
+
+def _closed_form(
+    loop: LoopStmt, init: int, stride: int, low: int, step: int
+) -> Expr | None:
+    """Closed-form value immediately after the update in the iteration
+    with index value ``i``: init + stride * ((i - low)/step + 1)."""
+    if step == 0:
+        return None
+    if stride % 1:  # pragma: no cover - stride is int by construction
+        return None
+    index = ScalarRef(symbol=loop.var)
+    if step == 1:
+        # init + stride*(i - low + 1)  ==  stride*i + (init + stride*(1-low))
+        const_part = init + stride * (1 - low)
+        return _affine_expr(stride, index, const_part)
+    # General step: stride must stay integral per iteration; build
+    # init + stride * ((i - low + step) / step). Exactness of the
+    # division holds for every actual index value i = low + k*step.
+    diff = BinOp(op="-", left=index, right=Const(value=low))
+    plus = BinOp(op="+", left=diff, right=Const(value=step))
+    count = BinOp(op="/", left=plus, right=Const(value=step))
+    scaled = BinOp(op="*", left=Const(value=stride), right=count)
+    return BinOp(op="+", left=Const(value=init), right=scaled)
+
+
+def _affine_expr(coeff: int, index: ScalarRef, const: int) -> Expr:
+    """Build a tidy ``coeff*index + const`` expression."""
+    if coeff == 0:
+        return Const(value=const)
+    term: Expr = index if coeff == 1 else BinOp(
+        op="*", left=Const(value=coeff), right=index
+    )
+    if const == 0:
+        return term
+    if const > 0:
+        return BinOp(op="+", left=term, right=Const(value=const))
+    return BinOp(op="-", left=term, right=Const(value=-const))
+
+
+def substitute_induction_vars(
+    proc: Procedure,
+    inductions: list[InductionVar],
+    cfg: CFG | None = None,
+    ssa: SSAInfo | None = None,
+    dom=None,
+) -> list[InductionVar]:
+    """Rewrite each recognized update statement's rhs to its closed
+    form, in place, and — when ``cfg``/``ssa``/``dom`` are provided —
+    also substitute the closed form into every *use* the update
+    definition reaches that is dominated by the update (same-iteration
+    uses after the increment, e.g. ``D(m)`` in paper Fig. 1, which the
+    paper notes "is known to be i+1 via induction variable analysis").
+
+    Returns the list actually rewritten. The caller must re-run the
+    analysis pipeline afterwards."""
+    from ..ir.expr import clone_expr
+
+    applied: list[InductionVar] = []
+    for iv in inductions:
+        if ssa is not None and cfg is not None and dom is not None:
+            _substitute_uses(proc, iv, cfg, ssa, dom)
+        iv.update_stmt.rhs = clone_expr(iv.closed_form)
+        applied.append(iv)
+    if applied:
+        proc.finalize()
+    return applied
+
+
+def _substitute_uses(proc: Procedure, iv: InductionVar, cfg: CFG, ssa: SSAInfo, dom) -> None:
+    from ..ir.expr import (
+        ArrayElemRef,
+        BinOp,
+        IntrinsicCall,
+        ScalarRef,
+        UnOp,
+        clone_expr,
+    )
+    from ..ir.stmt import AssignStmt, IfStmt
+
+    d = ssa.def_of_assignment(iv.update_stmt)
+    if d is None:
+        return
+    update_node = cfg.node_of(iv.update_stmt)
+    for use in ssa.reached_uses(d):
+        use_node = ssa.node_of_use(use)
+        if use_node.stmt is iv.update_stmt:
+            continue
+        if not dom.strictly_dominates(update_node, use_node):
+            continue
+        if ssa.reaching_real_defs(use) != {d}:
+            continue
+
+        def replace_in(expr):
+            if expr is use:
+                return clone_expr(iv.closed_form)
+            if isinstance(expr, ArrayElemRef):
+                expr.subscripts = [replace_in(s) for s in expr.subscripts]
+                return expr
+            if isinstance(expr, BinOp):
+                expr.left = replace_in(expr.left)
+                expr.right = replace_in(expr.right)
+                return expr
+            if isinstance(expr, UnOp):
+                expr.operand = replace_in(expr.operand)
+                return expr
+            if isinstance(expr, IntrinsicCall):
+                expr.args = [replace_in(a) for a in expr.args]
+                return expr
+            return expr
+
+        stmt = use_node.stmt
+        if isinstance(stmt, AssignStmt):
+            stmt.rhs = replace_in(stmt.rhs)
+            if isinstance(stmt.lhs, ArrayElemRef):
+                stmt.lhs.subscripts = [replace_in(s) for s in stmt.lhs.subscripts]
+        elif isinstance(stmt, IfStmt):
+            stmt.cond = replace_in(stmt.cond)

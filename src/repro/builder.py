@@ -1,0 +1,296 @@
+"""Fluent Python builder for mini-HPF programs.
+
+For users who want to drive the compiler from Python without writing
+Fortran text::
+
+    from repro.builder import ProgramBuilder
+
+    b = ProgramBuilder("SMOOTH", procs=(4,))
+    U = b.array("U", (64,), distribute=("BLOCK",))
+    V = b.array("V", (64,), align_with=U)
+    t = b.scalar("t")
+    i = b.index("i")
+    with b.loop(i, 2, 63):
+        b.assign(t, U[i - 1] + 2.0 * U[i] + U[i + 1])
+        b.assign(V[i], 0.25 * t)
+    compiled = b.compile()          # -> CompiledProgram
+    print(b.source())               # the generated mini-HPF text
+
+The builder emits mini-HPF source, so everything it produces is also a
+valid input for the CLI and files on disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ReproError
+
+
+class BuilderError(ReproError):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Expression wrappers
+# --------------------------------------------------------------------------
+
+
+class Expr:
+    """A tiny expression wrapper that renders to mini-HPF text."""
+
+    def __init__(self, text: str):
+        self.text = text
+
+    def __str__(self) -> str:
+        return self.text
+
+    # arithmetic -----------------------------------------------------------
+    def _bin(self, op: str, other, swapped=False) -> "Expr":
+        lhs, rhs = (_render(other), self.text) if swapped else (self.text, _render(other))
+        return Expr(f"({lhs} {op} {rhs})")
+
+    def __add__(self, other):
+        return self._bin("+", other)
+
+    def __radd__(self, other):
+        return self._bin("+", other, swapped=True)
+
+    def __sub__(self, other):
+        return self._bin("-", other)
+
+    def __rsub__(self, other):
+        return self._bin("-", other, swapped=True)
+
+    def __mul__(self, other):
+        return self._bin("*", other)
+
+    def __rmul__(self, other):
+        return self._bin("*", other, swapped=True)
+
+    def __truediv__(self, other):
+        return self._bin("/", other)
+
+    def __rtruediv__(self, other):
+        return self._bin("/", other, swapped=True)
+
+    def __pow__(self, other):
+        return self._bin("**", other)
+
+    def __neg__(self):
+        return Expr(f"(-{self.text})")
+
+    # comparisons ----------------------------------------------------------
+    def __gt__(self, other):
+        return Expr(f"({self.text} > {_render(other)})")
+
+    def __ge__(self, other):
+        return Expr(f"({self.text} >= {_render(other)})")
+
+    def __lt__(self, other):
+        return Expr(f"({self.text} < {_render(other)})")
+
+    def __le__(self, other):
+        return Expr(f"({self.text} <= {_render(other)})")
+
+    def eq(self, other):
+        return Expr(f"({self.text} == {_render(other)})")
+
+    def ne(self, other):
+        return Expr(f"({self.text} /= {_render(other)})")
+
+
+def _render(value) -> str:
+    if isinstance(value, Expr):
+        return value.text
+    if isinstance(value, bool):
+        return ".TRUE." if value else ".FALSE."
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    raise BuilderError(f"cannot use {value!r} in an expression")
+
+
+class ScalarVar(Expr):
+    def __init__(self, name: str):
+        super().__init__(name.upper())
+        self.name = name.upper()
+
+
+class IndexVar(ScalarVar):
+    pass
+
+
+class ArrayVar:
+    def __init__(self, name: str, shape: tuple[int, ...]):
+        self.name = name.upper()
+        self.shape = shape
+
+    def __getitem__(self, subscripts) -> Expr:
+        if not isinstance(subscripts, tuple):
+            subscripts = (subscripts,)
+        if len(subscripts) != len(self.shape):
+            raise BuilderError(
+                f"{self.name} has rank {len(self.shape)}, got "
+                f"{len(subscripts)} subscripts"
+            )
+        rendered = ", ".join(_render(s) for s in subscripts)
+        return Expr(f"{self.name}({rendered})")
+
+
+def intrinsic(name: str, *args) -> Expr:
+    """``intrinsic("MAX", a, b)`` etc."""
+    rendered = ", ".join(_render(a) for a in args)
+    return Expr(f"{name.upper()}({rendered})")
+
+
+# --------------------------------------------------------------------------
+# The builder
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _LoopCtx:
+    builder: "ProgramBuilder"
+    header: str
+    independent_clause: str | None = None
+
+    def __enter__(self):
+        if self.independent_clause is not None:
+            self.builder._emit(f"!HPF$ INDEPENDENT{self.independent_clause}", indent=False)
+        self.builder._emit(self.header)
+        self.builder._depth += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.builder._depth -= 1
+        self.builder._emit("END DO")
+        return False
+
+
+@dataclass
+class _IfCtx:
+    builder: "ProgramBuilder"
+    cond: Expr
+
+    def __enter__(self):
+        self.builder._emit(f"IF ({self.cond}) THEN")
+        self.builder._depth += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.builder._depth -= 1
+        self.builder._emit("END IF")
+        return False
+
+    def otherwise(self):
+        """Switch to the ELSE branch (call inside the ``with`` block)."""
+        self.builder._depth -= 1
+        self.builder._emit("ELSE")
+        self.builder._depth += 1
+
+
+class ProgramBuilder:
+    def __init__(self, name: str, procs: tuple[int, ...] | None = None):
+        self.name = name.upper()
+        self.procs = procs
+        self._decls: list[str] = []
+        self._directives: list[str] = []
+        self._body: list[str] = []
+        self._depth = 1
+        self._names: set[str] = set()
+        if procs is not None:
+            shape = ", ".join(str(p) for p in procs)
+            self._directives.append(f"!HPF$ PROCESSORS PGRID({shape})")
+
+    # -- declarations -------------------------------------------------------
+
+    def _check_name(self, name: str) -> str:
+        key = name.upper()
+        if key in self._names:
+            raise BuilderError(f"name {name!r} already declared")
+        self._names.add(key)
+        return key
+
+    def array(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        kind: str = "REAL",
+        distribute: tuple[str, ...] | None = None,
+        align_with: ArrayVar | None = None,
+        align_subs: str | None = None,
+    ) -> ArrayVar:
+        key = self._check_name(name)
+        dims = ", ".join(str(s) for s in shape)
+        self._decls.append(f"  {kind} {key}({dims})")
+        if distribute is not None and align_with is not None:
+            raise BuilderError(f"{name}: choose DISTRIBUTE or ALIGN, not both")
+        if distribute is not None:
+            formats = ", ".join(distribute)
+            self._directives.append(f"!HPF$ DISTRIBUTE ({formats}) :: {key}")
+        if align_with is not None:
+            if align_subs is None:
+                dummies = ", ".join(f"d{k}" for k in range(len(shape)))
+                align_subs = f"({dummies}) WITH {align_with.name}({dummies})"
+            self._directives.append(f"!HPF$ ALIGN {key}{align_subs}")
+        return ArrayVar(key, shape)
+
+    def scalar(self, name: str, kind: str = "REAL") -> ScalarVar:
+        key = self._check_name(name)
+        self._decls.append(f"  {kind} {key}")
+        return ScalarVar(key)
+
+    def index(self, name: str) -> IndexVar:
+        # Loop indices need no declaration (implicit INTEGER), but
+        # reserve the name.
+        return IndexVar(self._check_name(name))
+
+    # -- statements -------------------------------------------------------------
+
+    def _emit(self, text: str, indent: bool = True) -> None:
+        pad = "  " * self._depth if indent else ""
+        self._body.append(f"{pad}{text}")
+
+    def assign(self, target, value) -> None:
+        self._emit(f"{_render(target)} = {_render(value)}")
+
+    def loop(
+        self,
+        index: IndexVar,
+        low,
+        high,
+        step=None,
+        new: list | None = None,
+        reduction: list | None = None,
+    ) -> _LoopCtx:
+        header = f"DO {index.name} = {_render(low)}, {_render(high)}"
+        if step is not None:
+            header += f", {_render(step)}"
+        clause = None
+        if new or reduction:
+            clause = ""
+            if new:
+                clause += ", NEW(" + ", ".join(v.name for v in new) + ")"
+            if reduction:
+                clause += ", REDUCTION(" + ", ".join(v.name for v in reduction) + ")"
+        return _LoopCtx(builder=self, header=header, independent_clause=clause)
+
+    def when(self, cond: Expr) -> _IfCtx:
+        return _IfCtx(builder=self, cond=cond)
+
+    # -- products ------------------------------------------------------------------
+
+    def source(self) -> str:
+        lines = [f"PROGRAM {self.name}"]
+        lines.extend(self._decls)
+        lines.extend(self._directives)
+        lines.extend(self._body)
+        lines.append("END PROGRAM")
+        return "\n".join(lines) + "\n"
+
+    def compile(self, options=None):
+        from .core.driver import CompilerOptions, compile_source
+
+        return compile_source(self.source(), options or CompilerOptions())

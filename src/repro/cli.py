@@ -1,0 +1,245 @@
+"""Command-line interface.
+
+Usage (also via ``python -m repro``)::
+
+    repro compile PROGRAM.hpf [--procs 16] [--strategy selected] [--spmd]
+    repro estimate PROGRAM.hpf [--procs 1 2 4 8 16] [...]
+    repro run PROGRAM.hpf [--procs 4] [--seed 0]
+    repro tables [--table 1 2 3] [--fast]
+
+``compile`` prints the mapping report (and optionally the SPMD
+pseudo-code); ``estimate`` sweeps processor counts with the analytic
+SP2-class model; ``run`` executes the program on the simulated machine
+with random inputs and cross-checks the sequential interpreter;
+``tables`` regenerates the paper's evaluation tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .codegen.seq import run_sequential
+from .codegen.spmd import print_spmd
+from .core.driver import CompilerOptions, compile_source
+from .core.scalar_mapping import STRATEGIES
+from .ir.build import parse_and_build
+from .perf.estimator import PerfEstimator
+
+
+def _compiler_options(args) -> CompilerOptions:
+    return CompilerOptions(
+        strategy=args.strategy,
+        align_reductions=not args.no_reduction_alignment,
+        privatize_arrays=not args.no_array_privatization,
+        partial_privatization=not args.no_partial_privatization,
+        privatize_control_flow=not args.no_control_flow_privatization,
+        message_vectorization=not args.no_message_vectorization,
+        combine_messages=args.combine_messages,
+        auto_privatize_arrays=args.auto_privatize_arrays,
+        num_procs=getattr(args, "procs_single", None),
+    )
+
+
+def _add_compile_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("program", help="mini-HPF source file")
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="selected",
+        help="scalar mapping strategy (default: the paper's algorithm)",
+    )
+    parser.add_argument("--no-reduction-alignment", action="store_true")
+    parser.add_argument("--no-array-privatization", action="store_true")
+    parser.add_argument("--no-partial-privatization", action="store_true")
+    parser.add_argument("--no-control-flow-privatization", action="store_true")
+    parser.add_argument("--no-message-vectorization", action="store_true")
+    parser.add_argument(
+        "--combine-messages",
+        action="store_true",
+        help="enable global message combining (paper future work)",
+    )
+    parser.add_argument(
+        "--auto-privatize-arrays",
+        action="store_true",
+        help="infer array privatizability without NEW clauses (paper future work)",
+    )
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_compile(args) -> int:
+    source = _read_source(args.program)
+    args.procs_single = args.procs
+    compiled = compile_source(source, _compiler_options(args))
+    print(compiled.report())
+    if getattr(args, "explain", False):
+        from .core.diagnostics import diagnose, render_diagnostics
+
+        print()
+        print("diagnostics:")
+        print(render_diagnostics(diagnose(compiled)))
+    if args.spmd:
+        print()
+        print(print_spmd(compiled))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    source = _read_source(args.program)
+    args.procs_single = args.procs
+    compiled = compile_source(source, _compiler_options(args))
+    estimate = PerfEstimator(compiled).estimate()
+    print(estimate.summary())
+    print()
+    print(f"top {args.top} statements by compute time:")
+    for cost in sorted(estimate.stmt_costs, key=lambda c: -c.time)[: args.top]:
+        print(
+            f"  {cost.time:10.4f}s  x{cost.instances:>10.0f} "
+            f"(P-factor {cost.parallel_factor:4.1f})  {cost.stmt}"
+        )
+    if estimate.event_costs:
+        print()
+        print(f"top {args.top} transfers by time:")
+        for cost in sorted(estimate.event_costs, key=lambda c: -c.time)[: args.top]:
+            print(f"  {cost.time:10.4f}s  x{cost.instances:>8.0f}  {cost.event}")
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    source = _read_source(args.program)
+    print(f"{'P':>6} {'total':>12} {'compute':>12} {'comm':>12}")
+    for procs in args.procs:
+        args.procs_single = procs
+        compiled = compile_source(source, _compiler_options(args))
+        estimate = PerfEstimator(compiled).estimate()
+        print(
+            f"{procs:>6} {estimate.total_time:>11.4f}s "
+            f"{estimate.compute_time:>11.4f}s {estimate.comm_time:>11.4f}s"
+        )
+    return 0
+
+
+def cmd_run(args) -> int:
+    import numpy as np
+
+    from .machine.simulator import simulate
+
+    source = _read_source(args.program)
+    args.procs_single = args.procs
+    compiled = compile_source(source, _compiler_options(args))
+
+    rng = np.random.default_rng(args.seed)
+    proc = parse_and_build(source)
+    inputs = {}
+    for symbol in proc.symbols.arrays():
+        shape = tuple(symbol.extent(d) for d in range(symbol.rank))
+        inputs[symbol.name] = rng.uniform(0.5, 1.5, shape)
+
+    sequential = run_sequential(proc, inputs)
+    sim = simulate(compiled, inputs, trace_capacity=getattr(args, "trace", 0))
+    all_match = True
+    for symbol in compiled.proc.symbols.arrays():
+        match = bool(
+            np.allclose(sim.gather(symbol.name), sequential.get_array(symbol.name))
+        )
+        all_match &= match
+        print(f"  {symbol.name:8s} matches sequential: {match}")
+    print(
+        f"virtual time {sim.elapsed * 1e3:.3f} ms on {compiled.grid.size} "
+        f"processors; {sim.stats.messages} messages, "
+        f"{sim.stats.fetches} fetches "
+        f"({sim.stats.unexpected_fetches} unexpected)"
+    )
+    if getattr(args, "trace", 0):
+        print()
+        print("trace:")
+        print(sim.trace.render())
+    return 0 if all_match and sim.stats.unexpected_fetches == 0 else 1
+
+
+def cmd_tables(args) -> int:
+    from .report.tables import table1_tomcatv, table2_dgefa, table3_appsp
+
+    builders = {
+        1: (lambda: table1_tomcatv(n=129, niter=3, procs=(1, 4, 16)))
+        if args.fast
+        else table1_tomcatv,
+        2: (lambda: table2_dgefa(n=300, procs=(4, 16))) if args.fast else table2_dgefa,
+        3: (lambda: table3_appsp(n=32, niter=2, procs=(4, 16)))
+        if args.fast
+        else table3_appsp,
+    }
+    for number in args.table:
+        print(builders[number]().render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Gupta, 'On Privatization of Variables for "
+            "Data-Parallel Execution' (IPPS 1997)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile and print the mapping report")
+    _add_compile_flags(p_compile)
+    p_compile.add_argument("--procs", type=int, default=None)
+    p_compile.add_argument(
+        "--spmd", action="store_true", help="also print SPMD pseudo-code"
+    )
+    p_compile.add_argument(
+        "--explain", action="store_true", help="print compiler diagnostics"
+    )
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_profile = sub.add_parser(
+        "profile", help="per-statement cost breakdown (analytic model)"
+    )
+    _add_compile_flags(p_profile)
+    p_profile.add_argument("--procs", type=int, default=16)
+    p_profile.add_argument("--top", type=int, default=10)
+    p_profile.set_defaults(func=cmd_profile)
+
+    p_estimate = sub.add_parser("estimate", help="analytic performance sweep")
+    _add_compile_flags(p_estimate)
+    p_estimate.add_argument(
+        "--procs", type=int, nargs="+", default=[1, 2, 4, 8, 16]
+    )
+    p_estimate.set_defaults(func=cmd_estimate)
+
+    p_run = sub.add_parser("run", help="simulate and validate against sequential")
+    _add_compile_flags(p_run)
+    p_run.add_argument("--procs", type=int, default=4)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--trace", type=int, default=0, metavar="N",
+        help="print the first N runtime communication events",
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    p_tables.add_argument("--table", type=int, nargs="+", default=[1, 2, 3],
+                          choices=[1, 2, 3])
+    p_tables.add_argument("--fast", action="store_true")
+    p_tables.set_defaults(func=cmd_tables)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

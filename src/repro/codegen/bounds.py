@@ -1,0 +1,152 @@
+"""Loop-bounds shrinking for SPMD code generation.
+
+Paper Section 4: "the loop bounds can be shrunk [9] in the final SPMD
+code" — when every statement of a loop is guarded by the ownership of a
+reference whose position is an affine function of the loop index on a
+BLOCK/CYCLIC template, the guard can be folded into the loop bounds:
+each processor iterates only over the indices it owns.
+
+This module decides, per loop, whether shrinking applies and computes
+the per-processor iteration range (used by the SPMD pseudo-code printer
+and available for inspection/testing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.driver import CompiledProgram
+from ..core.locality import DimPosition
+from ..ir.expr import AffineForm
+from ..ir.stmt import AssignStmt, IfStmt, LoopStmt, Stmt
+from ..mapping.distribution import DimFormat
+
+
+@dataclass(frozen=True)
+class ShrunkBounds:
+    """Per-processor iteration range of a shrunk loop.
+
+    The loop over global indices ``lb..ub`` becomes, on the processor
+    with coordinate ``c`` along grid dim ``grid_dim``:
+    ``max(lb, first_owned(c)) .. min(ub, last_owned(c))`` for BLOCK, or
+    the owned stripes for CYCLIC.
+    """
+
+    loop: LoopStmt
+    grid_dim: int
+    fmt: DimFormat
+    #: template position of loop index i is stride*i + offset
+    stride: int
+    offset: int
+
+    def local_range(self, coord: int, lb: int, ub: int) -> list[tuple[int, int]]:
+        """Concrete owned index ranges (inclusive) within [lb, ub] for
+        the processor coordinate — a single range for BLOCK, stripes for
+        CYCLIC."""
+        ranges: list[tuple[int, int]] = []
+        start = None
+        prev = None
+        for index in range(lb, ub + 1):
+            pos = self.stride * index + self.offset
+            if 0 <= pos < self.fmt.extent and self.fmt.owner(pos) == coord:
+                if start is None:
+                    start = index
+                prev = index
+            else:
+                if start is not None:
+                    ranges.append((start, prev))
+                    start = None
+        if start is not None:
+            ranges.append((start, prev))
+        return ranges
+
+    def describe(self) -> str:
+        kind = self.fmt.kind.upper()
+        return (
+            f"shrunk to owned {kind} segment on grid dim {self.grid_dim} "
+            f"(template pos = {self.stride}*i + {self.offset})"
+        )
+
+
+def _executor_dim_for_loop(
+    compiled: CompiledProgram, stmt: Stmt, loop: LoopStmt
+) -> tuple[int, DimPosition] | None:
+    """The (grid_dim, position) through which ``loop``'s index drives
+    ``stmt``'s executor, if exactly one such dimension exists."""
+    info = compiled.executors.get(stmt.stmt_id)
+    if info is None or info.kind != "owner":
+        return None
+    hits = []
+    for g, dim in enumerate(info.position):
+        if dim.kind == "pos" and dim.form is not None:
+            if dim.form.coeff(loop.var) != 0:
+                hits.append((g, dim))
+    if len(hits) == 1:
+        return hits[0]
+    return None
+
+
+def _form_as_stride_offset(form: AffineForm, loop: LoopStmt) -> tuple[int, int] | None:
+    """Decompose a position form as stride*loopvar + const (no other
+    variables)."""
+    stride = form.coeff(loop.var)
+    others = [s for s, c in form.coeffs if s.name != loop.var.name and c != 0]
+    if others or stride == 0:
+        return None
+    return stride, form.const
+
+
+def shrinkable_bounds(
+    compiled: CompiledProgram, loop: LoopStmt
+) -> ShrunkBounds | None:
+    """Can the guard of every statement in ``loop``'s body be folded
+    into the loop bounds?
+
+    Requires every directly-owned statement in the body to be driven by
+    the loop index through the *same* grid dimension with the *same*
+    template position; statements with no guard (privatized) or
+    replicated execution don't constrain (no-guard ones follow the
+    iteration, replicated ones must run everywhere — the latter block
+    shrinking)."""
+    candidate: tuple[int, int, int, DimFormat] | None = None
+    for stmt in loop.walk():
+        if stmt is loop or isinstance(stmt, LoopStmt):
+            continue
+        info = compiled.executors.get(stmt.stmt_id)
+        if info is None:
+            continue
+        if info.kind == "union":
+            continue  # follows the iteration's executors
+        if info.kind == "all":
+            if isinstance(stmt, (AssignStmt, IfStmt)):
+                return None  # must execute everywhere: cannot shrink
+            continue
+        hit = _executor_dim_for_loop(compiled, stmt, loop)
+        if hit is None:
+            # Guarded, but not (only) by this loop's index: the guard
+            # does not constrain this loop's range uniformly.
+            continue
+        g, dim = hit
+        so = _form_as_stride_offset(dim.form, loop)
+        if so is None:
+            return None
+        stride, offset = so
+        key = (g, stride, offset, dim.fmt)
+        if candidate is None:
+            candidate = key
+        elif candidate != key:
+            return None  # two different ownership patterns: keep guards
+    if candidate is None:
+        return None
+    g, stride, offset, fmt = candidate
+    return ShrunkBounds(loop=loop, grid_dim=g, fmt=fmt, stride=stride, offset=offset)
+
+
+def all_shrinkable_loops(compiled: CompiledProgram) -> dict[int, ShrunkBounds]:
+    """ShrunkBounds for every loop where bounds shrinking applies."""
+    result: dict[int, ShrunkBounds] = {}
+    for loop in compiled.proc.loops():
+        shrunk = shrinkable_bounds(compiled, loop)
+        if shrunk is not None:
+            result[loop.stmt_id] = shrunk
+    return result

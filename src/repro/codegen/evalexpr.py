@@ -1,0 +1,153 @@
+"""Expression evaluation over pluggable storage.
+
+Both back ends evaluate the same IR expressions; they differ only in
+where scalar and array values come from, expressed as a
+:class:`ValueReader`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import InterpreterError
+from ..ir.expr import (
+    ArrayElemRef,
+    BinOp,
+    Const,
+    Expr,
+    IntrinsicCall,
+    ScalarRef,
+    UnOp,
+)
+from ..ir.symbols import ScalarType
+
+
+class ValueReader:
+    """Storage interface used by :func:`eval_expr`."""
+
+    def read_scalar(self, ref: ScalarRef, env: dict[str, int]):
+        raise NotImplementedError
+
+    def read_array(self, ref: ArrayElemRef, index: tuple[int, ...], env: dict[str, int]):
+        raise NotImplementedError
+
+
+def eval_subscripts(
+    ref: ArrayElemRef, reader: ValueReader, env: dict[str, int]
+) -> tuple[int, ...]:
+    index = []
+    for dim, sub in enumerate(ref.subscripts):
+        value = eval_expr(sub, reader, env)
+        index.append(int(value))
+    symbol = ref.symbol
+    for dim, idx in enumerate(index):
+        low, high = symbol.dims[dim]
+        if not low <= idx <= high:
+            raise InterpreterError(
+                f"subscript {idx} out of bounds {low}:{high} for "
+                f"{symbol.name} dim {dim + 1}"
+            )
+    return tuple(index)
+
+
+def eval_expr(expr: Expr, reader: ValueReader, env: dict[str, int]):
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, ScalarRef):
+        symbol = expr.symbol
+        if symbol.value is not None:
+            return symbol.value
+        if symbol.is_loop_var and symbol.name in env:
+            return env[symbol.name]
+        return reader.read_scalar(expr, env)
+    if isinstance(expr, ArrayElemRef):
+        index = eval_subscripts(expr, reader, env)
+        return reader.read_array(expr, index, env)
+    if isinstance(expr, UnOp):
+        value = eval_expr(expr.operand, reader, env)
+        if expr.op == "-":
+            return -value
+        if expr.op == ".NOT.":
+            return not value
+        raise InterpreterError(f"unknown unary op {expr.op!r}")
+    if isinstance(expr, BinOp):
+        left = eval_expr(expr.left, reader, env)
+        right = eval_expr(expr.right, reader, env)
+        return _apply_binop(expr.op, left, right)
+    if isinstance(expr, IntrinsicCall):
+        args = [eval_expr(a, reader, env) for a in expr.args]
+        return _apply_intrinsic(expr.name, args)
+    raise InterpreterError(f"cannot evaluate {expr!r}")
+
+
+def _apply_binop(op: str, left, right):
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if isinstance(left, int) and isinstance(right, int):
+            if right == 0:
+                raise InterpreterError("integer division by zero")
+            return int(left / right)  # Fortran truncates toward zero
+        if right == 0:
+            raise InterpreterError("division by zero")
+        return left / right
+    if op == "**":
+        return left**right
+    if op == "==":
+        return left == right
+    if op == "/=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == ".AND.":
+        return bool(left) and bool(right)
+    if op == ".OR.":
+        return bool(left) or bool(right)
+    raise InterpreterError(f"unknown binary op {op!r}")
+
+
+def _apply_intrinsic(name: str, args: list):
+    if name == "ABS":
+        return abs(args[0])
+    if name == "MAX":
+        return max(args)
+    if name == "MIN":
+        return min(args)
+    if name == "SQRT":
+        return math.sqrt(args[0])
+    if name == "EXP":
+        return math.exp(args[0])
+    if name == "LOG":
+        return math.log(args[0])
+    if name == "SIN":
+        return math.sin(args[0])
+    if name == "COS":
+        return math.cos(args[0])
+    if name == "MOD":
+        return args[0] % args[1]
+    if name == "SIGN":
+        return math.copysign(args[0], args[1])
+    if name in ("INT",):
+        return int(args[0])
+    if name in ("REAL", "FLOAT", "DBLE"):
+        return float(args[0])
+    raise InterpreterError(f"unknown intrinsic {name!r}")
+
+
+def coerce_store(value, symbol_type: ScalarType):
+    """Fortran assignment conversion."""
+    if symbol_type is ScalarType.INT:
+        return int(value)
+    if symbol_type is ScalarType.REAL:
+        return float(value)
+    return bool(value)

@@ -1,0 +1,128 @@
+"""Sequential reference interpreter — the semantic ground truth.
+
+Executes a procedure on plain global storage (numpy arrays, scalar
+dict). The SPMD simulator's results are validated against this
+interpreter bit-for-bit in the integration tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InterpreterError
+from ..ir.expr import ArrayElemRef, ScalarRef
+from ..ir.program import Procedure
+from ..ir.stmt import AssignStmt, IfStmt
+from ..ir.symbols import ScalarType, Symbol
+from .evalexpr import ValueReader, coerce_store, eval_expr, eval_subscripts
+from .walker import ExecutionHooks, Walker
+
+
+def _dtype_of(symbol: Symbol):
+    if symbol.type is ScalarType.INT:
+        return np.int64
+    if symbol.type is ScalarType.LOGICAL:
+        return np.bool_
+    return np.float64
+
+
+class GlobalStore(ValueReader):
+    """Global-view storage: one array per symbol, Fortran bounds."""
+
+    def __init__(self, proc: Procedure):
+        self.proc = proc
+        self.arrays: dict[str, np.ndarray] = {}
+        self.scalars: dict[str, float | int | bool] = {}
+        for symbol in proc.symbols.arrays():
+            shape = tuple(symbol.extent(d) for d in range(symbol.rank))
+            self.arrays[symbol.name] = np.zeros(shape, dtype=_dtype_of(symbol))
+
+    # -- indexing ----------------------------------------------------------
+
+    def _offset(self, symbol: Symbol, index: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(idx - symbol.dims[d][0] for d, idx in enumerate(index))
+
+    # -- ValueReader -----------------------------------------------------------
+
+    def read_scalar(self, ref: ScalarRef, env: dict[str, int]):
+        name = ref.symbol.name
+        if name in env:
+            return env[name]
+        if name not in self.scalars:
+            raise InterpreterError(f"read of undefined scalar {name}")
+        return self.scalars[name]
+
+    def read_array(self, ref: ArrayElemRef, index: tuple[int, ...], env):
+        return self.arrays[ref.symbol.name][self._offset(ref.symbol, index)].item()
+
+    # -- writes -----------------------------------------------------------------
+
+    def write_scalar(self, symbol: Symbol, value) -> None:
+        self.scalars[symbol.name] = coerce_store(value, symbol.type)
+
+    def write_array(self, symbol: Symbol, index: tuple[int, ...], value) -> None:
+        self.arrays[symbol.name][self._offset(symbol, index)] = value
+
+    # -- initialization helpers ------------------------------------------------------
+
+    def set_array(self, name: str, values: np.ndarray) -> None:
+        target = self.arrays[name.upper()]
+        if target.shape != values.shape:
+            raise InterpreterError(
+                f"shape mismatch for {name}: {values.shape} vs {target.shape}"
+            )
+        target[...] = values
+
+    def get_array(self, name: str) -> np.ndarray:
+        return self.arrays[name.upper()].copy()
+
+    def get_scalar(self, name: str):
+        return self.scalars.get(name.upper())
+
+
+class SequentialHooks(ExecutionHooks):
+    def __init__(self, store: GlobalStore):
+        self.store = store
+
+    def assign(self, stmt: AssignStmt, env: dict[str, int]) -> None:
+        value = eval_expr(stmt.rhs, self.store, env)
+        if isinstance(stmt.lhs, ArrayElemRef):
+            index = eval_subscripts(stmt.lhs, self.store, env)
+            self.store.write_array(stmt.lhs.symbol, index, value)
+        else:
+            self.store.write_scalar(stmt.lhs.symbol, value)
+
+    def eval_condition(self, stmt: IfStmt, env: dict[str, int]) -> bool:
+        return bool(eval_expr(stmt.cond, self.store, env))
+
+    def eval_bound(self, expr, env: dict[str, int]) -> int:
+        return int(eval_expr(expr, self.store, env))
+
+
+class SequentialInterpreter:
+    """Run a procedure sequentially.
+
+    Usage::
+
+        interp = SequentialInterpreter(proc)
+        interp.store.set_array("A", values)
+        interp.run()
+        result = interp.store.get_array("A")
+    """
+
+    def __init__(self, proc: Procedure):
+        self.proc = proc
+        self.store = GlobalStore(proc)
+
+    def run(self):
+        walker = Walker(self.proc, SequentialHooks(self.store))
+        return walker.run()
+
+
+def run_sequential(proc: Procedure, inputs: dict[str, np.ndarray] | None = None):
+    """Convenience: run and return the final store."""
+    interp = SequentialInterpreter(proc)
+    for name, values in (inputs or {}).items():
+        interp.store.set_array(name, values)
+    interp.run()
+    return interp.store

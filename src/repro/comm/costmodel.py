@@ -1,0 +1,7 @@
+"""Compatibility shim: the machine cost model lives in
+:mod:`repro.model`; re-exported here because it conceptually belongs to
+the communication layer."""
+
+from ..model import SP2, MachineModel, flops_of_expr
+
+__all__ = ["SP2", "MachineModel", "flops_of_expr"]

@@ -1,0 +1,104 @@
+"""Communication events produced by the communication analysis.
+
+Each event says: to execute statement ``stmt``, reference ``ref`` must
+be delivered to the statement's executors with transfer pattern
+``pattern``, and the transfer is placed at loop nesting level
+``placement_level`` (0 = hoisted before the entire loop nest — the
+fully message-vectorized case; equal to the statement's nesting level =
+inner-loop communication, the paper's worst case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.locality import Position, TransferPattern
+from ..ir.expr import Ref
+from ..ir.stmt import Stmt
+
+
+@dataclass
+class CommEvent:
+    stmt: Stmt
+    ref: Ref
+    pattern: TransferPattern
+    placement_level: int
+    data_position: Position
+    executor_position: Position
+    #: why the event exists (reporting/debugging)
+    note: str = ""
+    #: exact duplicates absorbed by message combining (same data, same
+    #: placement — transferred once, needed by several statements);
+    #: they contribute no cost but keep their identity for the runtime
+    aliases: list["CommEvent"] = field(default_factory=list)
+    #: distinct transfers merged into this one by message combining
+    #: (one startup, summed payload)
+    combined_with: list["CommEvent"] = field(default_factory=list)
+
+    @property
+    def duplicates(self) -> int:
+        return len(self.aliases)
+
+    @property
+    def is_inner_loop(self) -> bool:
+        return self.placement_level >= self.stmt.nesting_level > 0
+
+    def __str__(self) -> str:
+        where = (
+            "inner-loop"
+            if self.is_inner_loop
+            else f"vectorized@level{self.placement_level}"
+        )
+        return f"S{self.stmt.stmt_id}: {self.ref} {self.pattern} [{where}]"
+
+
+@dataclass
+class ReduceEvent:
+    """Global combine of partial reduction results at the exit of the
+    reduction loop: an allreduce across the replicated grid dims."""
+
+    stmt: Stmt  # the reduction update statement
+    loop_level: int  # level of the reduction loop
+    grid_dims: tuple[int, ...]
+    op: str
+    elements: int = 1
+
+    def __str__(self) -> str:
+        dims = ",".join(str(d) for d in self.grid_dims)
+        return (
+            f"S{self.stmt.stmt_id}: allreduce({self.op}) over grid dims "
+            f"{{{dims}}} after loop level {self.loop_level}"
+        )
+
+
+@dataclass
+class CommReport:
+    """All communication of one compiled program."""
+
+    events: list[CommEvent] = field(default_factory=list)
+    reduces: list[ReduceEvent] = field(default_factory=list)
+
+    def inner_loop_events(self) -> list[CommEvent]:
+        return [e for e in self.events if e.is_inner_loop]
+
+    def vectorized_events(self) -> list[CommEvent]:
+        return [e for e in self.events if not e.is_inner_loop]
+
+    def events_for_stmt(self, stmt_id: int) -> list[CommEvent]:
+        return [e for e in self.events if e.stmt.stmt_id == stmt_id]
+
+    def broadcast_events(self) -> list[CommEvent]:
+        return [e for e in self.events if e.pattern.kind == "broadcast"]
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.events)} transfer(s): "
+            f"{len(self.inner_loop_events())} inner-loop, "
+            f"{len(self.vectorized_events())} vectorized; "
+            f"{len(self.reduces)} reduction combine(s)"
+        ]
+        for e in self.events:
+            lines.append("  " + str(e))
+        for r in self.reduces:
+            lines.append("  " + str(r))
+        return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Consumer-reference identification (paper Section 2.1, Figure 2).
+
+"The consumer reference for a read reference u is a reference r whose
+owner needs the value of u during execution of that statement. Thus, in
+most cases, under the owner-computes rule, the consumer reference is
+the lhs of the assignment statement. For special cases where a read
+reference, such as a subscript, is needed by all processors, the
+consumer reference is set to be a dummy replicated reference. As an
+optimization, for a reference which appears as a subscript of an rhs
+reference which does not need communication, phpf sets the consumer
+reference to be the lhs reference."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.expr import ArrayElemRef, Expr, Ref, ScalarRef
+from ..ir.stmt import AssignStmt, CallStmt, IfStmt, LoopStmt, Stmt
+from .mapping_kinds import DUMMY_REPLICATED, DummyReplicatedRef
+
+
+@dataclass
+class UseContext:
+    """Syntactic role of one scalar use within its statement."""
+
+    use: ScalarRef
+    stmt: Stmt
+    role: str  # "rhs-value" | "rhs-subscript" | "lhs-subscript" |
+    #          "loop-bound" | "if-cond" | "call-arg"
+    enclosing_ref: ArrayElemRef | None = None  # for rhs-subscript
+
+
+def _contains_ref(expr: Expr, target: ScalarRef) -> bool:
+    return any(r is target for r in expr.refs())
+
+
+def classify_use(use: ScalarRef, stmt: Stmt) -> UseContext:
+    """Determine the syntactic role of ``use`` inside ``stmt``."""
+    if isinstance(stmt, LoopStmt):
+        return UseContext(use=use, stmt=stmt, role="loop-bound")
+    if isinstance(stmt, IfStmt):
+        return UseContext(use=use, stmt=stmt, role="if-cond")
+    if isinstance(stmt, CallStmt):
+        return UseContext(use=use, stmt=stmt, role="call-arg")
+    if isinstance(stmt, AssignStmt):
+        if isinstance(stmt.lhs, ArrayElemRef):
+            for sub in stmt.lhs.subscripts:
+                if _contains_ref(sub, use):
+                    return UseContext(use=use, stmt=stmt, role="lhs-subscript")
+        # Inside a subscript of an rhs array reference?
+        for ref in stmt.rhs.refs():
+            if isinstance(ref, ArrayElemRef):
+                for sub in ref.subscripts:
+                    if _contains_ref(sub, use):
+                        return UseContext(
+                            use=use, stmt=stmt, role="rhs-subscript", enclosing_ref=ref
+                        )
+        return UseContext(use=use, stmt=stmt, role="rhs-value")
+    # GOTO/CONTINUE/STOP have no uses; defensive default:
+    return UseContext(use=use, stmt=stmt, role="call-arg")
+
+
+def consumer_candidate(
+    ctx: UseContext,
+    resolver,
+) -> Ref | DummyReplicatedRef | None:
+    """The consumer reference for one use.
+
+    ``resolver`` must provide ``ref_needs_comm(ref, stmt) -> bool``
+    (does fetching ``ref`` for ``stmt`` under the current mappings
+    require communication?).
+
+    Returns the lhs reference, DUMMY_REPLICATED, or None when the use
+    imposes no consumer constraint (e.g. a GOTO — cannot happen for
+    scalar uses in practice).
+    """
+    if ctx.role in ("loop-bound", "call-arg"):
+        # Loop bounds are evaluated by every processor executing any
+        # part of the loop: needed on all processors.
+        return DUMMY_REPLICATED
+    if ctx.role == "if-cond":
+        # Predicate data must reach the union of processors executing
+        # control-dependent statements; without control-flow
+        # privatization that union is all processors. The control-flow
+        # pass (Section 4) refines this; for consumer selection the
+        # conservative answer is the dummy replicated reference.
+        return DUMMY_REPLICATED
+    if ctx.role == "lhs-subscript":
+        # The subscript determines ownership of the written element;
+        # its value is needed wherever the ownership test runs.
+        return DUMMY_REPLICATED
+    assert isinstance(ctx.stmt, AssignStmt)
+    if ctx.role == "rhs-subscript":
+        # Fig. 2: if the enclosing rhs reference needs no communication,
+        # only the executing processor needs the subscript -> lhs;
+        # otherwise the subscript value must be broadcast.
+        if resolver.ref_needs_comm(ctx.enclosing_ref, ctx.stmt):
+            return DUMMY_REPLICATED
+        return ctx.stmt.lhs
+    # rhs-value
+    return ctx.stmt.lhs

@@ -1,0 +1,106 @@
+"""Analysis context: one bundle of every program-analysis result the
+mapping passes need, built in the canonical pipeline order (paper
+Section 2.2: SSA construction, constant propagation and induction
+variable recognition precede the mapping pass)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.constprop import ConstPropInfo, propagate_constants
+from ..analysis.dataflow import LivenessInfo, compute_liveness
+from ..analysis.dominance import DominatorInfo, compute_dominance
+from ..analysis.induction import (
+    InductionVar,
+    find_induction_vars,
+    substitute_induction_vars,
+)
+from ..analysis.privatizable import PrivatizabilityInfo
+from ..analysis.reductions import Reduction, find_reductions
+from ..analysis.ssa import SSAInfo
+from ..ir.cfg import CFG, build_cfg
+from ..ir.program import Procedure
+from ..mapping.descriptors import ArrayMapping, resolve_mappings
+from ..mapping.grid import ProcessorGrid, default_grid
+
+
+@dataclass
+class AnalysisContext:
+    """All analyses over one procedure, after induction-variable
+    substitution."""
+
+    proc: Procedure
+    grid: ProcessorGrid
+    cfg: CFG
+    dom: DominatorInfo
+    liveness: LivenessInfo
+    ssa: SSAInfo
+    const: ConstPropInfo
+    priv: PrivatizabilityInfo
+    reductions: list[Reduction]
+    inductions: list[InductionVar]
+    array_mappings: dict[str, ArrayMapping]
+
+
+def _analyze_once(proc: Procedure, grid: ProcessorGrid):
+    cfg = build_cfg(proc)
+    dom = compute_dominance(cfg)
+    liveness = compute_liveness(cfg)
+    ssa = SSAInfo(cfg, dom=dom, liveness=liveness)
+    const = propagate_constants(ssa)
+    return cfg, dom, liveness, ssa, const
+
+
+def build_context(
+    proc: Procedure,
+    num_procs: int | None = None,
+    grid: ProcessorGrid | None = None,
+    substitute_inductions: bool = True,
+) -> AnalysisContext:
+    """Run the full analysis pipeline. If the program has a PROCESSORS
+    directive it fixes the grid shape; ``num_procs`` (total processor
+    count) may rescale it proportionally; an explicit ``grid`` overrides
+    everything."""
+    if grid is None:
+        if proc.processors is not None:
+            shape = proc.processors.shape
+            if num_procs is not None and num_procs != _prod(shape):
+                grid = default_grid(num_procs, rank=len(shape), name=proc.processors.name)
+            else:
+                grid = ProcessorGrid(name=proc.processors.name, shape=tuple(shape))
+        else:
+            grid = default_grid(num_procs or 1, rank=1)
+
+    cfg, dom, liveness, ssa, const = _analyze_once(proc, grid)
+    inductions: list[InductionVar] = []
+    if substitute_inductions:
+        found = find_induction_vars(proc, ssa, const)
+        if found:
+            inductions = substitute_induction_vars(
+                proc, found, cfg=cfg, ssa=ssa, dom=dom
+            )
+            cfg, dom, liveness, ssa, const = _analyze_once(proc, grid)
+
+    reductions = find_reductions(proc, ssa)
+    priv = PrivatizabilityInfo(proc, cfg, ssa, liveness)
+    array_mappings = resolve_mappings(proc, grid)
+    return AnalysisContext(
+        proc=proc,
+        grid=grid,
+        cfg=cfg,
+        dom=dom,
+        liveness=liveness,
+        ssa=ssa,
+        const=const,
+        priv=priv,
+        reductions=reductions,
+        inductions=inductions,
+        array_mappings=array_mappings,
+    )
+
+
+def _prod(shape) -> int:
+    total = 1
+    for s in shape:
+        total *= s
+    return total

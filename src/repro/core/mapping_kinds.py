@@ -1,0 +1,201 @@
+"""Mapping decisions for privatized variables — the vocabulary of the
+paper.
+
+A scalar SSA definition receives exactly one of:
+
+* :class:`Replicated` — the naive default ("replication of any variable
+  would force all processors to execute the assignment"),
+* :class:`AlignedTo` — privatized and owned by the owner of a producer
+  or consumer reference,
+* :class:`PrivateNoAlign` — privatized without alignment: no
+  computation-partitioning guard; viewed as replicated by communication
+  analysis,
+* :class:`ReductionMapping` — replicated across the grid dimensions the
+  reduction spans, aligned with the partial-reduction target in the
+  remaining dimensions (paper Section 2.3).
+
+Array privatization decisions are :class:`ArrayPrivatization` records
+(full or partial, paper Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.expr import ArrayElemRef, Ref
+from ..ir.stmt import LoopStmt, Stmt
+from ..ir.symbols import Symbol
+
+
+@dataclass(frozen=True)
+class DummyReplicatedRef:
+    """Sentinel consumer reference: the value is needed by all
+    processors (paper Section 2.1: "the consumer reference is set to be
+    a dummy replicated reference")."""
+
+    reason: str = "needed on all processors"
+
+    def __str__(self) -> str:
+        return f"<dummy replicated: {self.reason}>"
+
+
+DUMMY_REPLICATED = DummyReplicatedRef()
+
+
+class ScalarMapping:
+    """Base class of scalar mapping decisions."""
+
+    kind: str = "?"
+
+    @property
+    def is_partitioned(self) -> bool:
+        """Does the mapped scalar live on a proper subset of processors
+        (in at least one grid dimension)?"""
+        return False
+
+    @property
+    def available_everywhere(self) -> bool:
+        """Can every processor read the value without communication?
+        True for replication and (by the paper's convention) for
+        privatization without alignment."""
+        return False
+
+
+@dataclass(frozen=True)
+class Replicated(ScalarMapping):
+    kind: str = field(default="replicated", init=False)
+
+    @property
+    def available_everywhere(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "replicated"
+
+
+@dataclass(frozen=True)
+class PrivateNoAlign(ScalarMapping):
+    """Privatization without alignment. ``loop_level`` is the 1-based
+    nesting level of the loop the value is private to (0 = outside any
+    loop: executed by all processors)."""
+
+    loop_level: int = 0
+    kind: str = field(default="private-no-align", init=False)
+
+    @property
+    def available_everywhere(self) -> bool:
+        # "For the purpose of communication analysis, the scalar is
+        # viewed as if it has been replicated."
+        return True
+
+    def __str__(self) -> str:
+        return f"private (no alignment, level {self.loop_level})"
+
+
+@dataclass(frozen=True)
+class AlignedTo(ScalarMapping):
+    """Privatized and aligned with ``target`` (an array reference).
+    ``is_consumer`` records whether the target was a consumer or a
+    producer reference (for reporting and the TOMCATV ablation).
+    ``align_level`` is the AlignLevel of the target reference."""
+
+    target: ArrayElemRef = None
+    align_level: int = 0
+    is_consumer: bool = True
+    kind: str = field(default="aligned", init=False)
+
+    @property
+    def is_partitioned(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        role = "consumer" if self.is_consumer else "producer"
+        return f"aligned with {self.target} ({role}, AlignLevel={self.align_level})"
+
+
+@dataclass(frozen=True)
+class ReductionMapping(ScalarMapping):
+    """Mapping for a reduction result: replicated along
+    ``replicated_grid_dims`` (the dimensions the reduction spans),
+    aligned with ``target`` in the other dimensions."""
+
+    target: ArrayElemRef = None
+    replicated_grid_dims: tuple[int, ...] = ()
+    align_level: int = 0
+    op: str = "+"
+    kind: str = field(default="reduction", init=False)
+
+    @property
+    def is_partitioned(self) -> bool:
+        return True  # partitioned in the non-reduction dimensions
+
+    def __str__(self) -> str:
+        dims = ",".join(str(d) for d in self.replicated_grid_dims) or "-"
+        return (
+            f"reduction({self.op}): aligned with {self.target}, "
+            f"replicated on grid dims {{{dims}}}"
+        )
+
+
+@dataclass(frozen=True)
+class FullyReplicatedReduction(ScalarMapping):
+    """Ablation baseline for Table 2: the reduction result is replicated
+    in *every* grid dimension (the 'Default' column of the paper)."""
+
+    op: str = "+"
+    kind: str = field(default="reduction-replicated", init=False)
+
+    @property
+    def available_everywhere(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"reduction({self.op}): replicated"
+
+
+@dataclass
+class ArrayPrivatization:
+    """Privatization of ``array`` with respect to ``loop``.
+
+    ``privatized_grid_dims`` — grid dims along which each processor gets
+    a private copy; ``partitioned_dims`` — map array_dim → grid_dim kept
+    partitioned (non-empty ⇒ *partial* privatization, paper Sec. 3.2).
+    ``target`` is the alignment target reference used for the
+    partitioned dims.
+    """
+
+    array: Symbol
+    loop: LoopStmt
+    privatized_grid_dims: tuple[int, ...]
+    partitioned_dims: dict[int, int] = field(default_factory=dict)
+    target: ArrayElemRef | None = None
+    align_level: int = 0
+
+    @property
+    def is_partial(self) -> bool:
+        return bool(self.partitioned_dims)
+
+    def __str__(self) -> str:
+        mode = "partial" if self.is_partial else "full"
+        return (
+            f"{mode} privatization of {self.array.name} w.r.t. loop "
+            f"{self.loop.var.name} (priv grid dims {self.privatized_grid_dims}, "
+            f"partitioned {self.partitioned_dims})"
+        )
+
+
+@dataclass
+class ControlFlowDecision:
+    """Privatized-execution decision for a control-flow statement
+    (paper Section 4)."""
+
+    stmt: Stmt
+    privatized: bool
+    #: lhs references of the statements control-dependent on this one —
+    #: the predicate's data must reach the union of their owners.
+    dependent_refs: list[Ref] = field(default_factory=list)
+    reason: str = ""
+
+    def __str__(self) -> str:
+        mode = "privatized" if self.privatized else "executed on all processors"
+        return f"S{self.stmt.stmt_id}: {mode} ({self.reason})"

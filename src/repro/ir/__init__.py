@@ -1,0 +1,79 @@
+"""Intermediate representation: symbols, expressions, statements,
+procedures, CFG, and AST lowering."""
+
+from . import expr, stmt
+from .build import IRBuilder, build_procedure, parse_and_build
+from .cfg import CFG, CFGNode, build_cfg
+from .expr import (
+    AffineForm,
+    ArrayElemRef,
+    BinOp,
+    Const,
+    Expr,
+    IntrinsicCall,
+    Ref,
+    ScalarRef,
+    UnOp,
+    affine_form,
+    clone_expr,
+    expr_symbols,
+    substitute_scalar,
+)
+from .program import (
+    AlignSpec,
+    DistributeSpec,
+    Procedure,
+    ProcessorsSpec,
+)
+from .stmt import (
+    AssignStmt,
+    CallStmt,
+    ContinueStmt,
+    GotoStmt,
+    IfStmt,
+    LoopStmt,
+    Stmt,
+    StopStmt,
+)
+from .symbols import ScalarType, Symbol, SymbolKind, SymbolTable, implicit_type
+
+__all__ = [
+    "expr",
+    "stmt",
+    "IRBuilder",
+    "build_procedure",
+    "parse_and_build",
+    "CFG",
+    "CFGNode",
+    "build_cfg",
+    "AffineForm",
+    "ArrayElemRef",
+    "BinOp",
+    "Const",
+    "Expr",
+    "IntrinsicCall",
+    "Ref",
+    "ScalarRef",
+    "UnOp",
+    "affine_form",
+    "clone_expr",
+    "expr_symbols",
+    "substitute_scalar",
+    "AlignSpec",
+    "DistributeSpec",
+    "Procedure",
+    "ProcessorsSpec",
+    "AssignStmt",
+    "CallStmt",
+    "ContinueStmt",
+    "GotoStmt",
+    "IfStmt",
+    "LoopStmt",
+    "Stmt",
+    "StopStmt",
+    "ScalarType",
+    "Symbol",
+    "SymbolKind",
+    "SymbolTable",
+    "implicit_type",
+]

@@ -1,0 +1,171 @@
+"""Statement-granularity control-flow graph.
+
+Each IR statement is one CFG node (programs here are small enough that
+basic-block merging buys nothing). Loops contribute a header node with
+a back edge from the end of their body; IFs branch and re-join; GOTOs
+jump to the node of their labeled target.
+
+The CFG is consumed by dominance / SSA / liveness in
+:mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+from .program import Procedure
+from .stmt import (
+    AssignStmt,
+    CallStmt,
+    ContinueStmt,
+    GotoStmt,
+    IfStmt,
+    LoopStmt,
+    Stmt,
+    StopStmt,
+)
+
+
+@dataclass
+class CFGNode:
+    """One node of the CFG. ``stmt`` is None for ENTRY/EXIT."""
+
+    index: int
+    stmt: Stmt | None
+    kind: str  # "entry" | "exit" | "stmt"
+    preds: list["CFGNode"] = field(default_factory=list, repr=False)
+    succs: list["CFGNode"] = field(default_factory=list, repr=False)
+
+    def __hash__(self) -> int:
+        return self.index
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CFGNode) and other.index == self.index
+
+    def __str__(self) -> str:
+        if self.kind != "stmt":
+            return self.kind.upper()
+        return str(self.stmt)
+
+
+class CFG:
+    """Control-flow graph of one procedure."""
+
+    def __init__(self, proc: Procedure):
+        self.proc = proc
+        self.nodes: list[CFGNode] = []
+        self.entry = self._new_node(None, "entry")
+        self.exit = self._new_node(None, "exit")
+        self._node_of_stmt: dict[int, CFGNode] = {}
+        self._build()
+
+    # -- construction ----------------------------------------------------------
+
+    def _new_node(self, stmt: Stmt | None, kind: str = "stmt") -> CFGNode:
+        node = CFGNode(index=len(self.nodes), stmt=stmt, kind=kind)
+        self.nodes.append(node)
+        return node
+
+    def _edge(self, src: CFGNode, dst: CFGNode) -> None:
+        if dst not in src.succs:
+            src.succs.append(dst)
+        if src not in dst.preds:
+            dst.preds.append(src)
+
+    def _build(self) -> None:
+        # Pass 1: a node per statement.
+        for stmt in self.proc.all_stmts():
+            self._node_of_stmt[stmt.stmt_id] = self._new_node(stmt)
+        # Pass 2: wire edges.
+        first = self._wire_seq(self.proc.body, self.exit)
+        self._edge(self.entry, first)
+
+    def _entry_node(self, stmt: Stmt) -> CFGNode:
+        return self._node_of_stmt[stmt.stmt_id]
+
+    def _wire_seq(self, stmts: list[Stmt], follow: CFGNode) -> CFGNode:
+        """Wire a statement sequence whose continuation is ``follow``;
+        returns the sequence's entry node (``follow`` if empty)."""
+        if not stmts:
+            return follow
+        for k, stmt in enumerate(stmts):
+            next_node = (
+                self._entry_node(stmts[k + 1]) if k + 1 < len(stmts) else follow
+            )
+            self._wire_stmt(stmt, next_node)
+        return self._entry_node(stmts[0])
+
+    def _wire_stmt(self, stmt: Stmt, follow: CFGNode) -> None:
+        node = self._entry_node(stmt)
+        if isinstance(stmt, (AssignStmt, ContinueStmt, CallStmt)):
+            self._edge(node, follow)
+        elif isinstance(stmt, StopStmt):
+            self._edge(node, self.exit)
+        elif isinstance(stmt, GotoStmt):
+            target = self.proc.stmt_at_label(stmt.target_label)
+            if target is None:
+                raise AnalysisError(
+                    f"GOTO target {stmt.target_label} missing during CFG build"
+                )
+            self._edge(node, self._entry_node(target))
+        elif isinstance(stmt, IfStmt):
+            then_entry = self._wire_seq(stmt.then_body, follow)
+            else_entry = self._wire_seq(stmt.else_body, follow)
+            self._edge(node, then_entry)
+            if else_entry is not then_entry or not stmt.then_body:
+                self._edge(node, else_entry)
+            else:
+                self._edge(node, follow)
+        elif isinstance(stmt, LoopStmt):
+            # header -> body entry; body falls back to header; header ->
+            # follow models loop exit (incl. zero-trip).
+            body_entry = self._wire_seq(stmt.body, node)
+            self._edge(node, body_entry)
+            self._edge(node, follow)
+        else:
+            raise AnalysisError(f"cannot wire statement {stmt!r}")
+
+    # -- queries --------------------------------------------------------------------
+
+    def node_of(self, stmt: Stmt) -> CFGNode:
+        return self._node_of_stmt[stmt.stmt_id]
+
+    def reverse_postorder(self) -> list[CFGNode]:
+        """Reverse postorder over reachable nodes starting at entry."""
+        seen: set[int] = set()
+        order: list[CFGNode] = []
+
+        def dfs(node: CFGNode) -> None:
+            stack = [(node, iter(node.succs))]
+            seen.add(node.index)
+            while stack:
+                current, successors = stack[-1]
+                advanced = False
+                for succ in successors:
+                    if succ.index not in seen:
+                        seen.add(succ.index)
+                        stack.append((succ, iter(succ.succs)))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        dfs(self.entry)
+        order.reverse()
+        return order
+
+    def reachable(self) -> set[int]:
+        return {node.index for node in self.reverse_postorder()}
+
+    def dump(self) -> str:
+        lines = []
+        for node in self.nodes:
+            succs = ", ".join(str(s.index) for s in node.succs)
+            lines.append(f"[{node.index}] {node} -> {{{succs}}}")
+        return "\n".join(lines)
+
+
+def build_cfg(proc: Procedure) -> CFG:
+    return CFG(proc)

@@ -1,0 +1,22 @@
+"""Mini-HPF language front end: lexer, parser, AST, HPF directives."""
+
+from . import ast_nodes
+from .directives import parse_directive
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse_expression, parse_program
+from .printer import print_expr, print_program
+from .tokens import Token, TokenKind
+
+__all__ = [
+    "ast_nodes",
+    "parse_directive",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_expression",
+    "parse_program",
+    "print_expr",
+    "print_program",
+    "Token",
+    "TokenKind",
+]

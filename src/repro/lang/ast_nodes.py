@@ -1,0 +1,295 @@
+"""Abstract syntax tree for the mini-HPF language.
+
+Pure syntax: no resolution or typing happens here (that is the job of
+``repro.ir.build``). All nodes are plain dataclasses carrying a source
+line for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class RealLit(Expr):
+    value: float
+
+
+@dataclass
+class LogicalLit(Expr):
+    value: bool
+
+
+@dataclass
+class Name(Expr):
+    """A bare identifier: scalar variable, parameter, or loop index."""
+
+    ident: str
+
+
+@dataclass
+class ArrayRef(Expr):
+    """``A(e1, e2, ...)`` — also the syntax of an intrinsic call; the
+    IR builder disambiguates using the symbol table."""
+
+    ident: str
+    subscripts: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class BinOp(Expr):
+    """Arithmetic (+ - * / **), relational, or logical binary operator."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnOp(Expr):
+    """Unary minus / plus / .NOT."""
+
+    op: str
+    operand: Expr
+
+
+# --------------------------------------------------------------------------
+# Directives (attached to declarations or statements)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Directive(Node):
+    pass
+
+
+@dataclass
+class ProcessorsDirective(Directive):
+    """``!HPF$ PROCESSORS P(4, 4)`` — declares the processor grid."""
+
+    name: str
+    shape: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class DistFormat(Node):
+    """One dimension of a DISTRIBUTE format: BLOCK, CYCLIC[(k)] or '*'."""
+
+    kind: str  # "BLOCK" | "CYCLIC" | "*"
+    arg: Expr | None = None
+
+
+@dataclass
+class DistributeDirective(Directive):
+    """``!HPF$ DISTRIBUTE (BLOCK, *) [ONTO P] :: A, B`` or the
+    attributed form ``!HPF$ DISTRIBUTE A(BLOCK, *)``."""
+
+    formats: list[DistFormat] = field(default_factory=list)
+    targets: list[str] = field(default_factory=list)
+    onto: str | None = None
+
+
+@dataclass
+class AlignSubscript(Node):
+    """One align-source subscript: a dummy variable name or '*'.
+
+    The paper's examples use the identity/offset forms ``A(i)``,
+    ``A(i, *)``, ``H(i, j)``; we additionally support ``stride*i + off``
+    affine forms on the target side.
+    """
+
+    dummy: str | None  # None means '*': replicate/collapse marker
+
+
+@dataclass
+class AlignDirective(Directive):
+    """``!HPF$ ALIGN B(i) WITH A(i, *)`` or
+    ``!HPF$ ALIGN (i) WITH A(i) :: B, C, D``."""
+
+    source_name: str | None  # None for the '::'-list form
+    source_subs: list[AlignSubscript] = field(default_factory=list)
+    target_name: str = ""
+    target_subs: list[Expr | None] = field(default_factory=list)  # None = '*'
+    extra_targets: list[str] = field(default_factory=list)  # the :: list
+
+
+@dataclass
+class IndependentDirective(Directive):
+    """``!HPF$ INDEPENDENT [, NEW(v, ...)] [, REDUCTION(v, ...)]`` —
+    applies to the DO statement that follows it."""
+
+    new_vars: list[str] = field(default_factory=list)
+    reduction_vars: list[str] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class DimSpec(Node):
+    """One declared array dimension ``lo:hi`` (lo defaults to 1)."""
+
+    low: Expr
+    high: Expr
+
+
+@dataclass
+class EntityDecl(Node):
+    """One declared entity within a type declaration."""
+
+    name: str
+    dims: list[DimSpec] = field(default_factory=list)
+
+
+@dataclass
+class TypeDecl(Node):
+    """``REAL A(N,N), B(N)`` / ``INTEGER :: ipvt(N)``."""
+
+    type_name: str  # "REAL" | "INTEGER" | "LOGICAL"
+    entities: list[EntityDecl] = field(default_factory=list)
+
+
+@dataclass
+class ParameterDecl(Node):
+    """``PARAMETER (N = 513)`` — compile-time constants."""
+
+    bindings: list[tuple[str, Expr]] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    label: int | None = field(default=None, kw_only=True)
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr = None  # Name or ArrayRef
+    value: Expr = None
+
+
+@dataclass
+class Do(Stmt):
+    """``DO var = lb, ub [, step] ... END DO``; ``directive`` holds an
+    INDEPENDENT directive immediately preceding the loop, if any."""
+
+    var: str = ""
+    low: Expr = None
+    high: Expr = None
+    step: Expr | None = None
+    body: list[Stmt] = field(default_factory=list)
+    directive: IndependentDirective | None = None
+
+
+@dataclass
+class If(Stmt):
+    """Both the block form (THEN/ELSE/END IF) and the logical one-liner
+    (``IF (cond) stmt`` — then_body holds the single statement)."""
+
+    cond: Expr = None
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Goto(Stmt):
+    target_label: int = 0
+
+
+@dataclass
+class Continue(Stmt):
+    """``CONTINUE`` — a no-op carrying its label (GOTO target)."""
+
+
+@dataclass
+class Stop(Stmt):
+    pass
+
+
+@dataclass
+class Call(Stmt):
+    """``CALL name(args)`` — used only by a few benchmark scaffolds."""
+
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Program
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Subroutine(Node):
+    """``SUBROUTINE name(p1, p2, ...) ... END [SUBROUTINE]``.
+
+    Subroutines exist to be *inlined* (the compilation model is
+    whole-program, as in the paper: "we have applied procedure-inlining
+    by hand" — here the front end applies it automatically, see
+    :mod:`repro.lang.inline`)."""
+
+    name: str = ""
+    params: list[str] = field(default_factory=list)
+    decls: list[Node] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    name: str = "MAIN"
+    decls: list[Node] = field(default_factory=list)  # TypeDecl | ParameterDecl
+    directives: list[Directive] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+    subroutines: list[Subroutine] = field(default_factory=list)
+
+
+def walk_exprs(expr: Expr):
+    """Yield ``expr`` and every sub-expression, pre-order."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_exprs(expr.left)
+        yield from walk_exprs(expr.right)
+    elif isinstance(expr, UnOp):
+        yield from walk_exprs(expr.operand)
+    elif isinstance(expr, ArrayRef):
+        for sub in expr.subscripts:
+            yield from walk_exprs(sub)
+
+
+def walk_stmts(stmts: list[Stmt]):
+    """Yield every statement in ``stmts``, recursively, pre-order."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, Do):
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, If):
+            yield from walk_stmts(stmt.then_body)
+            yield from walk_stmts(stmt.else_body)

@@ -1,0 +1,239 @@
+"""Automatic procedure inlining.
+
+The paper's DGEFA benchmark "is the HPF version of the original routine
+from LINPACK, in which we have applied procedure-inlining by hand"
+(Section 5). This pass applies it automatically: every ``CALL`` to a
+subroutine defined in the same source is replaced by the subroutine's
+body with
+
+* formal parameters substituted by the actual arguments (Fortran
+  reference semantics; actuals are therefore restricted to bare
+  variable names — the LINPACK-style usage),
+* local variables renamed ``<LOCAL>__<SUB>`` — keeping the leading
+  letter so Fortran implicit typing is preserved — and hoisted, with
+  their declarations, into the main program,
+* statement labels renumbered uniquely per call site.
+
+Inlining runs to a fixed point (subroutines may call each other) with a
+depth limit guarding against recursion.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from ..errors import SemanticError
+from . import ast_nodes as ast
+
+_MAX_DEPTH = 16
+
+
+class Inliner:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.subs = {s.name.upper(): s for s in program.subroutines}
+        self._label_base = self._max_label(program.body) + 1
+        self._hoisted: list[ast.Node] = []
+        self._emitted: set[str] = set()
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ast.Program:
+        if not self.subs:
+            return self.program
+        self.program.body = self._inline_block(self.program.body, depth=0)
+        self.program.decls.extend(self._hoisted)
+        self.program.subroutines = []
+        return self.program
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _max_label(stmts: list[ast.Stmt]) -> int:
+        best = 0
+        for stmt in ast.walk_stmts(stmts):
+            if stmt.label is not None:
+                best = max(best, stmt.label)
+            if isinstance(stmt, ast.Goto):
+                best = max(best, stmt.target_label)
+        return best
+
+    def _fresh_label_block(self, span: int) -> int:
+        base = self._label_base
+        self._label_base += span + 1
+        return base
+
+    # ------------------------------------------------------------------
+
+    def _inline_block(self, stmts: list[ast.Stmt], depth: int) -> list[ast.Stmt]:
+        out: list[ast.Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, ast.Call) and stmt.name.upper() in self.subs:
+                if depth >= _MAX_DEPTH:
+                    raise SemanticError(
+                        f"inlining depth limit exceeded at CALL {stmt.name} "
+                        f"(recursive subroutines are not supported)"
+                    )
+                out.extend(self._expand_call(stmt, depth))
+            else:
+                if isinstance(stmt, ast.Do):
+                    stmt.body = self._inline_block(stmt.body, depth)
+                elif isinstance(stmt, ast.If):
+                    stmt.then_body = self._inline_block(stmt.then_body, depth)
+                    stmt.else_body = self._inline_block(stmt.else_body, depth)
+                out.append(stmt)
+        return out
+
+    def _expand_call(self, call: ast.Call, depth: int) -> list[ast.Stmt]:
+        sub = self.subs[call.name.upper()]
+        if len(call.args) != len(sub.params):
+            raise SemanticError(
+                f"CALL {call.name}: {len(call.args)} argument(s) for "
+                f"{len(sub.params)} parameter(s)"
+            )
+        # Build the renaming: formals -> actual names, locals -> unique.
+        rename: dict[str, str] = {}
+        for formal, actual in zip(sub.params, call.args):
+            if isinstance(actual, ast.Name):
+                rename[formal.upper()] = actual.ident.upper()
+            elif isinstance(actual, ast.ArrayRef) and not actual.subscripts:
+                rename[formal.upper()] = actual.ident.upper()
+            else:
+                raise SemanticError(
+                    f"CALL {call.name}: argument {actual!r} is not a bare "
+                    f"variable name (reference-semantics inlining requires "
+                    f"whole variables)"
+                )
+        local_names = self._local_names(sub)
+        for name in local_names:
+            rename[name] = f"{name}__{sub.name.upper()}"
+        self._hoist_locals(sub, rename)
+
+        body = copy.deepcopy(sub.body)
+        self._rename_stmts(body, rename)
+        self._renumber_labels(body)
+        # Inline nested calls within the expanded body.
+        return self._inline_block(body, depth + 1)
+
+    @staticmethod
+    def _local_names(sub: ast.Subroutine) -> set[str]:
+        params = {p.upper() for p in sub.params}
+        names: set[str] = set()
+        for decl in sub.decls:
+            if isinstance(decl, ast.TypeDecl):
+                for entity in decl.entities:
+                    if entity.name.upper() not in params:
+                        names.add(entity.name.upper())
+            elif isinstance(decl, ast.ParameterDecl):
+                for name, _ in decl.bindings:
+                    names.add(name.upper())
+        # Implicitly-typed assigned scalars and loop indices also count
+        # as locals (unless they are formals).
+        for stmt in ast.walk_stmts(sub.body):
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.target, ast.Name):
+                if stmt.target.ident.upper() not in params:
+                    names.add(stmt.target.ident.upper())
+            if isinstance(stmt, ast.Do) and stmt.var.upper() not in params:
+                names.add(stmt.var.upper())
+        return names
+
+    def _hoist_locals(self, sub: ast.Subroutine, rename: dict[str, str]) -> None:
+        params = {p.upper() for p in sub.params}
+        for decl in sub.decls:
+            if isinstance(decl, ast.TypeDecl):
+                entities = []
+                for entity in decl.entities:
+                    key = entity.name.upper()
+                    if key in params:
+                        continue
+                    new_name = rename[key]
+                    if new_name in self._emitted:
+                        continue
+                    self._emitted.add(new_name)
+                    new_entity = copy.deepcopy(entity)
+                    new_entity.name = new_name
+                    self._rename_entity_dims(new_entity, rename)
+                    entities.append(new_entity)
+                if entities:
+                    self._hoisted.append(
+                        ast.TypeDecl(type_name=decl.type_name, entities=entities)
+                    )
+            elif isinstance(decl, ast.ParameterDecl):
+                bindings = []
+                for name, expr in decl.bindings:
+                    new_name = rename[name.upper()]
+                    if new_name in self._emitted:
+                        continue
+                    self._emitted.add(new_name)
+                    new_expr = copy.deepcopy(expr)
+                    self._rename_expr(new_expr, rename)
+                    bindings.append((new_name, new_expr))
+                if bindings:
+                    self._hoisted.append(ast.ParameterDecl(bindings=bindings))
+
+    def _rename_entity_dims(self, entity: ast.EntityDecl, rename: dict[str, str]) -> None:
+        for dim in entity.dims:
+            self._rename_expr(dim.low, rename)
+            self._rename_expr(dim.high, rename)
+
+    # ------------------------------------------------------------------
+
+    def _rename_expr(self, expr: ast.Expr, rename: dict[str, str]) -> None:
+        for node in ast.walk_exprs(expr):
+            if isinstance(node, ast.Name):
+                node.ident = rename.get(node.ident.upper(), node.ident)
+            elif isinstance(node, ast.ArrayRef):
+                node.ident = rename.get(node.ident.upper(), node.ident)
+
+    def _rename_stmts(self, stmts: list[ast.Stmt], rename: dict[str, str]) -> None:
+        for stmt in ast.walk_stmts(stmts):
+            if isinstance(stmt, ast.Assign):
+                self._rename_expr(stmt.target, rename)
+                self._rename_expr(stmt.value, rename)
+            elif isinstance(stmt, ast.Do):
+                stmt.var = rename.get(stmt.var.upper(), stmt.var)
+                self._rename_expr(stmt.low, rename)
+                self._rename_expr(stmt.high, rename)
+                if stmt.step is not None:
+                    self._rename_expr(stmt.step, rename)
+                if stmt.directive is not None:
+                    stmt.directive.new_vars = [
+                        rename.get(v.upper(), v) for v in stmt.directive.new_vars
+                    ]
+                    stmt.directive.reduction_vars = [
+                        rename.get(v.upper(), v)
+                        for v in stmt.directive.reduction_vars
+                    ]
+            elif isinstance(stmt, ast.If):
+                self._rename_expr(stmt.cond, rename)
+            elif isinstance(stmt, ast.Call):
+                for arg in stmt.args:
+                    self._rename_expr(arg, rename)
+
+    def _renumber_labels(self, stmts: list[ast.Stmt]) -> None:
+        old_labels = sorted(
+            {
+                s.label
+                for s in ast.walk_stmts(stmts)
+                if s.label is not None
+            }
+            | {
+                s.target_label
+                for s in ast.walk_stmts(stmts)
+                if isinstance(s, ast.Goto)
+            }
+        )
+        if not old_labels:
+            return
+        base = self._fresh_label_block(len(old_labels))
+        mapping = {old: base + k for k, old in enumerate(old_labels)}
+        for stmt in ast.walk_stmts(stmts):
+            if stmt.label is not None:
+                stmt.label = mapping[stmt.label]
+            if isinstance(stmt, ast.Goto):
+                stmt.target_label = mapping[stmt.target_label]
+
+
+def inline_calls(program: ast.Program) -> ast.Program:
+    """Inline every CALL to a same-source subroutine, in place."""
+    return Inliner(program).run()

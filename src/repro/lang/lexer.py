@@ -1,0 +1,246 @@
+"""Lexer for the mini-HPF language.
+
+Free-form source, one statement per line, ``&`` continuation at end of
+line, ``!`` comments. Lines whose comment starts with ``!HPF$`` are
+*directives*: the lexer emits a single :class:`~repro.lang.tokens.Token`
+of kind DIRECTIVE carrying the directive body, which the directive
+parser re-lexes with this same class.
+"""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .tokens import Token, TokenKind, dot_operator
+
+_SINGLE = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "%": TokenKind.PERCENT,
+}
+
+
+class Lexer:
+    """Tokenize mini-HPF source text.
+
+    Usage::
+
+        tokens = Lexer(source).tokenize()
+    """
+
+    def __init__(self, source: str, *, directive_mode: bool = False):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        #: When true, newlines are not significant (used to lex the body
+        #: of an !HPF$ directive) and '!' has no comment meaning.
+        self.directive_mode = directive_mode
+        self.tokens: list[Token] = []
+
+    # -- low-level helpers -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _advance(self, n: int = 1) -> str:
+        text = self.source[self.pos : self.pos + n]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += n
+        return text
+
+    def _emit(self, kind: TokenKind, value: str, line: int, col: int) -> None:
+        self.tokens.append(Token(kind, value, line, col))
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.col)
+
+    # -- tokenizers --------------------------------------------------------
+
+    def tokenize(self) -> list[Token]:
+        """Produce the full token stream, ending with EOF."""
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r":
+                self._advance()
+            elif ch == "&":
+                self._lex_continuation()
+            elif ch == "\n":
+                self._lex_newline()
+            elif ch == "!":
+                self._lex_comment_or_directive()
+            elif ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                self._lex_number()
+            elif ch == ".":
+                self._lex_dot_operator()
+            elif ch.isalpha() or ch == "_":
+                self._lex_ident()
+            elif ch in "'\"":
+                self._lex_string()
+            else:
+                self._lex_operator()
+        self._emit(TokenKind.EOF, "", self.line, self.col)
+        return self.tokens
+
+    def _lex_newline(self) -> None:
+        line, col = self.line, self.col
+        self._advance()
+        if self.directive_mode:
+            return
+        # Collapse consecutive newlines into one token.
+        if self.tokens and self.tokens[-1].kind is TokenKind.NEWLINE:
+            return
+        self._emit(TokenKind.NEWLINE, "\n", line, col)
+
+    def _lex_continuation(self) -> None:
+        """``&`` at end of line joins the next line to this statement."""
+        self._advance()
+        while self._peek() in " \t\r":
+            self._advance()
+        if self._peek() == "!" and not self._is_directive_comment():
+            while self._peek() and self._peek() != "\n":
+                self._advance()
+        if self._peek() != "\n":
+            raise self._error("'&' continuation must end its line")
+        self._advance()  # consume newline without emitting a token
+
+    def _is_directive_comment(self) -> bool:
+        return self.source[self.pos : self.pos + 5].upper() == "!HPF$"
+
+    def _lex_comment_or_directive(self) -> None:
+        if self.directive_mode:
+            raise self._error("'!' not allowed inside a directive body")
+        line, col = self.line, self.col
+        if self._is_directive_comment():
+            self._advance(5)
+            start = self.pos
+            while self._peek() and self._peek() != "\n":
+                self._advance()
+            body = self.source[start : self.pos].strip()
+            self._emit(TokenKind.DIRECTIVE, body, line, col)
+        else:
+            while self._peek() and self._peek() != "\n":
+                self._advance()
+
+    def _lex_number(self) -> None:
+        line, col = self.line, self.col
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        is_real = False
+        # A '.' begins a fraction only if not a dot-operator like 1.EQ.2
+        if self._peek() == "." and dot_operator(self._dot_lookahead()) is None:
+            is_real = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek().upper() in ("E", "D") and (
+            self._peek(1).isdigit() or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_real = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.pos].upper().replace("D", "E")
+        kind = TokenKind.REAL if is_real else TokenKind.INT
+        self._emit(kind, text, line, col)
+
+    def _dot_lookahead(self) -> str:
+        """Text of a potential ``.WORD.`` operator starting at pos."""
+        if self._peek() != ".":
+            return ""
+        j = self.pos + 1
+        while j < len(self.source) and self.source[j].isalpha():
+            j += 1
+        if j < len(self.source) and self.source[j] == ".":
+            return self.source[self.pos : j + 1]
+        return ""
+
+    def _lex_dot_operator(self) -> None:
+        line, col = self.line, self.col
+        text = self._dot_lookahead()
+        kind = dot_operator(text) if text else None
+        if kind is None:
+            raise self._error(f"malformed dot-operator starting with {text or '.'!r}")
+        self._advance(len(text))
+        self._emit(kind, text.upper(), line, col)
+
+    def _lex_ident(self) -> None:
+        line, col = self.line, self.col
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.pos].upper()
+        self._emit(TokenKind.IDENT, text, line, col)
+
+    def _lex_string(self) -> None:
+        line, col = self.line, self.col
+        quote = self._advance()
+        start = self.pos
+        while self._peek() and self._peek() not in (quote, "\n"):
+            self._advance()
+        if self._peek() != quote:
+            raise self._error("unterminated string literal")
+        text = self.source[start : self.pos]
+        self._advance()
+        self._emit(TokenKind.STRING, text, line, col)
+
+    def _lex_operator(self) -> None:
+        line, col = self.line, self.col
+        two = self.source[self.pos : self.pos + 2]
+        if two == "**":
+            self._advance(2)
+            self._emit(TokenKind.POWER, "**", line, col)
+        elif two == "::":
+            self._advance(2)
+            self._emit(TokenKind.DCOLON, "::", line, col)
+        elif two == "==":
+            self._advance(2)
+            self._emit(TokenKind.EQ, "==", line, col)
+        elif two == "/=":
+            self._advance(2)
+            self._emit(TokenKind.NE, "/=", line, col)
+        elif two == "<=":
+            self._advance(2)
+            self._emit(TokenKind.LE, "<=", line, col)
+        elif two == ">=":
+            self._advance(2)
+            self._emit(TokenKind.GE, ">=", line, col)
+        elif two and two[0] in _SINGLE:
+            ch = self._advance()
+            self._emit(_SINGLE[ch], ch, line, col)
+        elif two and two[0] == "*":
+            self._advance()
+            self._emit(TokenKind.STAR, "*", line, col)
+        elif two and two[0] == "/":
+            self._advance()
+            self._emit(TokenKind.SLASH, "/", line, col)
+        elif two and two[0] == "=":
+            self._advance()
+            self._emit(TokenKind.ASSIGN, "=", line, col)
+        elif two and two[0] == "<":
+            self._advance()
+            self._emit(TokenKind.LT, "<", line, col)
+        elif two and two[0] == ">":
+            self._advance()
+            self._emit(TokenKind.GT, ">", line, col)
+        elif two and two[0] == ":":
+            self._advance()
+            self._emit(TokenKind.COLON, ":", line, col)
+        else:
+            raise self._error(f"unexpected character {self._peek()!r}")
+
+
+def tokenize(source: str, *, directive_mode: bool = False) -> list[Token]:
+    """Convenience wrapper: tokenize ``source`` and return the tokens."""
+    return Lexer(source, directive_mode=directive_mode).tokenize()

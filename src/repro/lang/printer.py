@@ -1,0 +1,139 @@
+"""Source printer (unparser) for the mini-HPF AST.
+
+Round-tripping parsed programs through :func:`print_program` yields a
+canonical form used in golden tests and in dumps of compiled programs.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+
+_INDENT = "  "
+
+
+def print_expr(expr: ast.Expr) -> str:
+    """Render an expression with minimal (full) parenthesization of
+    compound operands."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.RealLit):
+        text = repr(expr.value)
+        return text
+    if isinstance(expr, ast.LogicalLit):
+        return ".TRUE." if expr.value else ".FALSE."
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.ArrayRef):
+        subs = ", ".join(print_expr(s) for s in expr.subscripts)
+        return f"{expr.ident}({subs})"
+    if isinstance(expr, ast.UnOp):
+        return f"{expr.op}{_maybe_paren(expr.operand)}"
+    if isinstance(expr, ast.BinOp):
+        return f"{_maybe_paren(expr.left)} {expr.op} {_maybe_paren(expr.right)}"
+    raise TypeError(f"unprintable expression {expr!r}")
+
+
+def _maybe_paren(expr: ast.Expr) -> str:
+    text = print_expr(expr)
+    if isinstance(expr, (ast.BinOp, ast.UnOp)):
+        return f"({text})"
+    return text
+
+
+def _print_stmt(stmt: ast.Stmt, depth: int, out: list[str]) -> None:
+    pad = _INDENT * depth
+    label = f"{stmt.label} " if stmt.label is not None else ""
+    if isinstance(stmt, ast.Assign):
+        out.append(f"{pad}{label}{print_expr(stmt.target)} = {print_expr(stmt.value)}")
+    elif isinstance(stmt, ast.Do):
+        if stmt.directive is not None:
+            clauses = ""
+            if stmt.directive.new_vars:
+                clauses += f", NEW({', '.join(stmt.directive.new_vars)})"
+            if stmt.directive.reduction_vars:
+                clauses += f", REDUCTION({', '.join(stmt.directive.reduction_vars)})"
+            out.append(f"{pad}!HPF$ INDEPENDENT{clauses}")
+        step = f", {print_expr(stmt.step)}" if stmt.step is not None else ""
+        out.append(
+            f"{pad}{label}DO {stmt.var} = {print_expr(stmt.low)}, "
+            f"{print_expr(stmt.high)}{step}"
+        )
+        for child in stmt.body:
+            _print_stmt(child, depth + 1, out)
+        out.append(f"{pad}END DO")
+    elif isinstance(stmt, ast.If):
+        out.append(f"{pad}{label}IF ({print_expr(stmt.cond)}) THEN")
+        for child in stmt.then_body:
+            _print_stmt(child, depth + 1, out)
+        if stmt.else_body:
+            out.append(f"{pad}ELSE")
+            for child in stmt.else_body:
+                _print_stmt(child, depth + 1, out)
+        out.append(f"{pad}END IF")
+    elif isinstance(stmt, ast.Goto):
+        out.append(f"{pad}{label}GO TO {stmt.target_label}")
+    elif isinstance(stmt, ast.Continue):
+        out.append(f"{pad}{label}CONTINUE")
+    elif isinstance(stmt, ast.Stop):
+        out.append(f"{pad}{label}STOP")
+    elif isinstance(stmt, ast.Call):
+        args = ", ".join(print_expr(a) for a in stmt.args)
+        out.append(f"{pad}{label}CALL {stmt.name}({args})")
+    else:
+        raise TypeError(f"unprintable statement {stmt!r}")
+
+
+def _print_directive(directive: ast.Directive, out: list[str]) -> None:
+    if isinstance(directive, ast.ProcessorsDirective):
+        shape = ", ".join(print_expr(e) for e in directive.shape)
+        out.append(f"!HPF$ PROCESSORS {directive.name}({shape})")
+    elif isinstance(directive, ast.DistributeDirective):
+        formats = ", ".join(
+            f.kind if f.arg is None else f"{f.kind}({print_expr(f.arg)})"
+            for f in directive.formats
+        )
+        onto = f" ONTO {directive.onto}" if directive.onto else ""
+        out.append(
+            f"!HPF$ DISTRIBUTE ({formats}){onto} :: {', '.join(directive.targets)}"
+        )
+    elif isinstance(directive, ast.AlignDirective):
+        subs = ", ".join(s.dummy if s.dummy else "*" for s in directive.source_subs)
+        target_subs = ", ".join(
+            "*" if e is None else print_expr(e) for e in directive.target_subs
+        )
+        source = f"{directive.source_name}({subs})" if directive.source_name else f"({subs})"
+        extra = f" :: {', '.join(directive.extra_targets)}" if directive.extra_targets else ""
+        out.append(
+            f"!HPF$ ALIGN {source} WITH {directive.target_name}({target_subs}){extra}"
+        )
+    else:
+        raise TypeError(f"unprintable directive {directive!r}")
+
+
+def print_program(program: ast.Program) -> str:
+    """Render a whole program back to mini-HPF source."""
+    out: list[str] = [f"PROGRAM {program.name}"]
+    for decl in program.decls:
+        if isinstance(decl, ast.TypeDecl):
+            entities = []
+            for entity in decl.entities:
+                if entity.dims:
+                    dims = ", ".join(
+                        print_expr(d.high)
+                        if isinstance(d.low, ast.IntLit) and d.low.value == 1
+                        else f"{print_expr(d.low)}:{print_expr(d.high)}"
+                        for d in entity.dims
+                    )
+                    entities.append(f"{entity.name}({dims})")
+                else:
+                    entities.append(entity.name)
+            out.append(f"{_INDENT}{decl.type_name} {', '.join(entities)}")
+        elif isinstance(decl, ast.ParameterDecl):
+            bindings = ", ".join(f"{n} = {print_expr(e)}" for n, e in decl.bindings)
+            out.append(f"{_INDENT}PARAMETER ({bindings})")
+    for directive in program.directives:
+        _print_directive(directive, out)
+    for stmt in program.body:
+        _print_stmt(stmt, 1, out)
+    out.append("END PROGRAM")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,146 @@
+"""Token definitions for the mini-HPF front end.
+
+The language is a small, case-insensitive Fortran-90 subset extended
+with ``!HPF$`` directives — just enough to express every program in the
+paper (TOMCATV, DGEFA, APPSP kernels and the Figure 1–7 fragments).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    # Structural
+    NEWLINE = "NEWLINE"
+    EOF = "EOF"
+    DIRECTIVE = "DIRECTIVE"  # an entire !HPF$ line, content re-lexed later
+
+    # Literals and names
+    IDENT = "IDENT"
+    INT = "INT"
+    REAL = "REAL"
+    STRING = "STRING"
+    LABEL = "LABEL"  # statement label at start of line
+
+    # Punctuation / operators
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    POWER = "**"
+    COLON = ":"
+    DCOLON = "::"
+    PERCENT = "%"
+
+    # Relational (both F77 dot-form and F90 symbolic map to these)
+    EQ = "=="
+    NE = "/="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    # Logical
+    AND = ".AND."
+    OR = ".OR."
+    NOT = ".NOT."
+    TRUE = ".TRUE."
+    FALSE = ".FALSE."
+
+
+#: Keywords are lexed as IDENT and classified by the parser; this set is
+#: used only to reject their use as variable names where it matters.
+KEYWORDS = frozenset(
+    {
+        "PROGRAM",
+        "SUBROUTINE",
+        "END",
+        "ENDDO",
+        "ENDIF",
+        "DO",
+        "IF",
+        "THEN",
+        "ELSE",
+        "ELSEIF",
+        "GOTO",
+        "GO",
+        "TO",
+        "CONTINUE",
+        "CALL",
+        "REAL",
+        "INTEGER",
+        "LOGICAL",
+        "PARAMETER",
+        "DIMENSION",
+        "STOP",
+        "RETURN",
+        "EXIT",
+    }
+)
+
+#: Intrinsic functions understood by the interpreter and the flop model.
+INTRINSICS = frozenset(
+    {
+        "ABS",
+        "MAX",
+        "MIN",
+        "SQRT",
+        "EXP",
+        "LOG",
+        "SIN",
+        "COS",
+        "MOD",
+        "SIGN",
+        "DBLE",
+        "REAL",
+        "INT",
+        "FLOAT",
+    }
+)
+
+_DOT_OPS = {
+    ".EQ.": TokenKind.EQ,
+    ".NE.": TokenKind.NE,
+    ".LT.": TokenKind.LT,
+    ".LE.": TokenKind.LE,
+    ".GT.": TokenKind.GT,
+    ".GE.": TokenKind.GE,
+    ".AND.": TokenKind.AND,
+    ".OR.": TokenKind.OR,
+    ".NOT.": TokenKind.NOT,
+    ".TRUE.": TokenKind.TRUE,
+    ".FALSE.": TokenKind.FALSE,
+}
+
+
+def dot_operator(text: str) -> TokenKind | None:
+    """Map a ``.XX.`` spelled operator (case-insensitive) to its kind."""
+    return _DOT_OPS.get(text.upper())
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source location.
+
+    ``value`` holds the uppercased identifier text for IDENT tokens, the
+    numeric text for INT/REAL, the raw directive body for DIRECTIVE, and
+    the operator spelling otherwise.
+    """
+
+    kind: TokenKind
+    value: str
+    line: int
+    col: int
+
+    def is_ident(self, name: str) -> bool:
+        """True when this token is the identifier/keyword ``name``."""
+        return self.kind is TokenKind.IDENT and self.value == name.upper()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.value!r}, {self.line}:{self.col})"

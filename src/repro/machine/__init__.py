@@ -1,0 +1,15 @@
+"""Simulated distributed-memory machine: per-node memory with validity
+tracking, virtual clocks, and the SPMD execution engine."""
+
+from .memory import NodeMemory, initialize_array
+from .simulator import SPMDSimulator, simulate
+from .stats import Clocks, TrafficStats
+
+__all__ = [
+    "NodeMemory",
+    "initialize_array",
+    "SPMDSimulator",
+    "simulate",
+    "Clocks",
+    "TrafficStats",
+]

@@ -1,0 +1,647 @@
+"""SPMD execution on the simulated distributed-memory machine.
+
+Runs a compiled program on P virtual processors with per-node memory,
+validity tracking, and virtual clocks:
+
+* each assignment executes only on its executor ranks (owner-computes
+  guards, privatized/no-guard statements, replicated execution);
+* a rank reading an element it does not hold triggers a modeled message
+  from a valid owner, coalesced per the static communication analysis's
+  placement level (message vectorization: one startup per vectorized
+  instance, per-element bandwidth afterwards);
+* reduction scalars accumulate privately per rank and are combined by a
+  log-tree collective at the reduction loop's exit, exactly as the
+  paper's code generation does with its privatized temporary copy;
+* control-flow statements privatized by Section 4 are evaluated only by
+  the processors that need them.
+
+The simulator is the semantic referee: its gathered results must match
+the sequential interpreter bit-for-bit, for every strategy — that is
+what the integration tests assert. Its virtual time is also reported,
+but large problem sizes are priced by ``repro.perf`` instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..codegen.evalexpr import ValueReader, coerce_store, eval_expr, eval_subscripts
+from ..codegen.walker import ExecutionHooks, Walker
+from ..comm.costmodel import MachineModel, flops_of_expr
+from ..comm.events import CommEvent
+from ..core.driver import CompiledProgram
+from ..core.mapping_kinds import (
+    FullyReplicatedReduction,
+    ReductionMapping,
+)
+from ..errors import SimulationError
+from ..ir.expr import AffineForm, ArrayElemRef, ScalarRef
+from ..ir.stmt import AssignStmt, IfStmt, LoopStmt, Stmt
+from .memory import NodeMemory, initialize_array
+from .stats import Clocks, Trace, TrafficStats
+
+
+class _FetchingReader(ValueReader):
+    """Reads through one rank's memory, fetching remote data on demand."""
+
+    def __init__(self, sim: "SPMDSimulator", rank: int, stmt: Stmt):
+        self.sim = sim
+        self.rank = rank
+        self.stmt = stmt
+
+    def read_scalar(self, ref: ScalarRef, env):
+        name = ref.symbol.name
+        if name in env:
+            return env[name]
+        memory = self.sim.memories[self.rank]
+        if memory.scalar_is_valid(name):
+            return memory.scalar_value(name)
+        return self.sim.fetch_scalar(self.rank, ref, self.stmt, env)
+
+    def read_array(self, ref: ArrayElemRef, index, env):
+        name = ref.symbol.name
+        memory = self.sim.memories[self.rank]
+        if memory.array_is_valid(name, index):
+            return memory.array_value(name, index)
+        return self.sim.fetch_array(self.rank, ref, index, self.stmt, env)
+
+
+class _AuthoritativeReader(ValueReader):
+    """Reads the authoritative value (any valid copy) without charging —
+    used for guard evaluation and loop bounds, whose data is replicated
+    by construction (dummy-replicated consumers / loop-bound events)."""
+
+    def __init__(self, sim: "SPMDSimulator"):
+        self.sim = sim
+
+    def read_scalar(self, ref: ScalarRef, env):
+        name = ref.symbol.name
+        if name in env:
+            return env[name]
+        return self.sim.authoritative_scalar(name)
+
+    def read_array(self, ref: ArrayElemRef, index, env):
+        return self.sim.authoritative_array(ref.symbol.name, index)
+
+
+class _SPMDHooks(ExecutionHooks):
+    def __init__(self, sim: "SPMDSimulator"):
+        self.sim = sim
+
+    def assign(self, stmt: AssignStmt, env):
+        self.sim.exec_assign(stmt, env)
+
+    def eval_condition(self, stmt: IfStmt, env) -> bool:
+        return self.sim.exec_condition(stmt, env)
+
+    def eval_bound(self, expr, env) -> int:
+        return int(eval_expr(expr, self.sim.authoritative, env))
+
+    def loop_enter(self, stmt: LoopStmt, env):
+        self.sim.on_loop_enter(stmt, env)
+
+    def loop_exit(self, stmt: LoopStmt, env):
+        self.sim.on_loop_exit(stmt, env)
+
+
+class SPMDSimulator:
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        machine: MachineModel | None = None,
+        trace_capacity: int = 0,
+    ):
+        self.compiled = compiled
+        self.proc = compiled.proc
+        self.grid = compiled.grid
+        self.machine = machine or compiled.options.machine
+        self.memories = [NodeMemory(r, self.proc) for r in self.grid.all_ranks()]
+        self.clocks = Clocks(self.grid.size, self.machine)
+        self.stats = TrafficStats()
+        self.trace = Trace(trace_capacity)
+        self.authoritative = _AuthoritativeReader(self)
+        #: (stmt_id, ref_id) -> CommEvent, for fetch coalescing; when
+        #: message combining merged/deduped events, every absorbed
+        #: (stmt, ref) pair still resolves to the combined event
+        self._events: dict[tuple[int, int], CommEvent] = {}
+        for e in compiled.comm.events:
+            self._events[(e.stmt.stmt_id, e.ref.ref_id)] = e
+            for absorbed in list(e.aliases) + list(e.combined_with):
+                self._events[(absorbed.stmt.stmt_id, absorbed.ref.ref_id)] = e
+        self._fetch_keys_seen: set = set()
+        #: loop indices currently iterating (a position form referencing
+        #: an inactive loop's index spans the whole dimension)
+        self._active_loop_vars: dict[str, int] = {}
+        #: reduction bookkeeping
+        self._reduction_updates: dict[int, tuple] = {}
+        self._reductions_by_loop: dict[int, list] = {}
+        self._reduction_snapshots: dict[int, dict[int, float]] = {}
+        self._index_reductions()
+        # Zero-initialize every array with ownership validity (matching
+        # the sequential interpreter's zero-filled global store);
+        # set_array overwrites the contents afterwards.
+        for symbol in self.proc.symbols.arrays():
+            shape = tuple(symbol.extent(d) for d in range(symbol.rank))
+            initialize_array(
+                self.memories,
+                self.compiled.mappings[symbol.name],
+                np.zeros(shape, dtype=self.memories[0].arrays[symbol.name].dtype),
+            )
+
+    # ==================================================================
+    # Setup
+    # ==================================================================
+
+    def _index_reductions(self) -> None:
+        array_reductions = getattr(
+            self.compiled.scalar_pass, "array_reductions", {}
+        )
+        for reduction in self.compiled.ctx.reductions:
+            update = reduction.update_stmts[0]
+            if reduction.is_array_reduction:
+                entry = array_reductions.get(update.stmt_id)
+                if entry is None:
+                    continue
+                _, mapping = entry
+                self._reduction_updates[update.stmt_id] = (reduction, mapping)
+                self._reductions_by_loop.setdefault(
+                    reduction.loop.stmt_id, []
+                ).append((reduction, mapping))
+                continue
+            d = self.compiled.ctx.ssa.def_of_assignment(update)
+            mapping = (
+                self.compiled.scalar_pass.decisions.get(d.def_id) if d else None
+            )
+            if not isinstance(mapping, (ReductionMapping, FullyReplicatedReduction)):
+                continue
+            for stmt in reduction.update_stmts:
+                self._reduction_updates[stmt.stmt_id] = (reduction, mapping)
+            if isinstance(mapping, ReductionMapping):
+                self._reductions_by_loop.setdefault(
+                    reduction.loop.stmt_id, []
+                ).append((reduction, mapping))
+
+    def set_array(self, name: str, values: np.ndarray) -> None:
+        mapping = self.compiled.mappings[name.upper()]
+        initialize_array(self.memories, mapping, values)
+
+    def run(self):
+        walker = Walker(self.proc, _SPMDHooks(self))
+        return walker.run()
+
+    # ==================================================================
+    # Authoritative lookups
+    # ==================================================================
+
+    def authoritative_scalar(self, name: str):
+        for memory in self.memories:
+            if memory.scalar_is_valid(name):
+                return memory.scalar_value(name)
+        raise SimulationError(f"no valid copy of scalar {name} anywhere")
+
+    def authoritative_array(self, name: str, index: tuple[int, ...]):
+        mapping = self.compiled.mappings[name]
+        for rank in mapping.owner_ranks(index):
+            if self.memories[rank].array_is_valid(name, index):
+                return self.memories[rank].array_value(name, index)
+        for memory in self.memories:
+            if memory.array_is_valid(name, index):
+                return memory.array_value(name, index)
+        raise SimulationError(f"no valid copy of {name}{index} anywhere")
+
+    # ==================================================================
+    # Fetch (modeled communication)
+    # ==================================================================
+
+    def _coalesce_key(self, event: CommEvent | None, stmt: Stmt, ref_id: int,
+                      src: int, dst: int, env) -> tuple:
+        if event is None:
+            return ("raw", stmt.stmt_id, ref_id, src, dst, tuple(sorted(env.items())))
+        p = event.placement_level
+        outer = tuple(
+            env.get(loop.var.name, 0)
+            for loop in stmt.loops_enclosing()
+            if loop.level <= p
+        )
+        # Keyed by the event's identity so transfers merged by message
+        # combining share one startup per placement instance.
+        return ("evt", id(event), src, dst, outer)
+
+    def _charge_fetch(self, event: CommEvent | None, stmt: Stmt, ref_id: int,
+                      src: int, dst: int, env, elements: int = 1) -> None:
+        key = self._coalesce_key(event, stmt, ref_id, src, dst, env)
+        startup = key not in self._fetch_keys_seen
+        self._fetch_keys_seen.add(key)
+        self.clocks.charge_message_amortized(src, dst, elements, startup)
+        if startup:
+            self.stats.messages += 1
+        self.stats.record_fetch(
+            (stmt.stmt_id, ref_id) if event is not None else None, elements
+        )
+
+    def fetch_array(self, rank: int, ref: ArrayElemRef, index, stmt: Stmt, env):
+        name = ref.symbol.name
+        mapping = self.compiled.mappings[name]
+        src = None
+        for owner in mapping.owner_ranks(index):
+            if self.memories[owner].array_is_valid(name, index):
+                src = owner
+                break
+        if src is None:
+            for r, memory in enumerate(self.memories):
+                if memory.array_is_valid(name, index):
+                    src = r
+                    break
+        if src is None:
+            raise SimulationError(
+                f"rank {rank}: {name}{index} requested but no rank holds it "
+                f"(statement S{stmt.stmt_id})"
+            )
+        value = self.memories[src].array_value(name, index)
+        self.memories[rank].array_store(name, index, value)
+        event = self._events.get((stmt.stmt_id, ref.ref_id))
+        self._charge_fetch(event, stmt, ref.ref_id, src, rank, env)
+        self.trace.record(
+            "fetch", f"{name}{index} for S{stmt.stmt_id}", src=src, dst=rank
+        )
+        return value
+
+    def fetch_scalar(self, rank: int, ref: ScalarRef, stmt: Stmt, env):
+        name = ref.symbol.name
+        src = None
+        for r, memory in enumerate(self.memories):
+            if memory.scalar_is_valid(name):
+                src = r
+                break
+        if src is None:
+            raise SimulationError(
+                f"rank {rank}: scalar {name} requested but no rank holds it "
+                f"(statement S{stmt.stmt_id})"
+            )
+        value = self.memories[src].scalar_value(name)
+        self.memories[rank].scalar_store(name, value)
+        event = self._events.get((stmt.stmt_id, ref.ref_id))
+        self._charge_fetch(event, stmt, ref.ref_id, src, rank, env)
+        self.trace.record(
+            "fetch", f"{name} for S{stmt.stmt_id}", src=src, dst=rank
+        )
+        return value
+
+    # ==================================================================
+    # Executor sets
+    # ==================================================================
+
+    def _eval_form(self, form: AffineForm, env) -> int | None:
+        """Evaluate an affine position form; None when some variable has
+        no value yet (e.g. the index of a loop that has not started —
+        the position then spans the whole dimension)."""
+        total = form.const
+        for symbol, coeff in form.coeffs:
+            if symbol.is_loop_var and symbol.name not in self._active_loop_vars:
+                return None  # inactive loop index: spans the dimension
+            if symbol.name in env:
+                value = env[symbol.name]
+            elif symbol.value is not None:
+                value = symbol.value
+            else:
+                value = None
+                for memory in self.memories:
+                    if memory.scalar_is_valid(symbol.name):
+                        value = memory.scalar_value(symbol.name)
+                        break
+                if value is None:
+                    return None
+            total += coeff * int(value)
+        return total
+
+    def _ranks_of_position(self, position, env) -> list[int]:
+        import itertools
+
+        axes: list[list[int]] = []
+        for g, dim in enumerate(position):
+            procs = self.grid.shape[g]
+            if dim.kind == "pos" and dim.form is not None and dim.fmt is not None:
+                pos = self._eval_form(dim.form, env)
+                if pos is None:
+                    axes.append(list(range(procs)))
+                else:
+                    axes.append([dim.fmt.owner(pos)])
+            else:
+                axes.append(list(range(procs)))
+        return [self.grid.rank_of(c) for c in itertools.product(*axes)]
+
+    def executor_ranks(self, stmt: Stmt, env) -> list[int]:
+        info = self.compiled.executors[stmt.stmt_id]
+        # Reduction-variable statements outside the update set (the
+        # initialization of the privatized temporary) run everywhere.
+        if (
+            isinstance(stmt, AssignStmt)
+            and isinstance(stmt.lhs, ScalarRef)
+            and stmt.stmt_id not in self._reduction_updates
+        ):
+            d = self.compiled.ctx.ssa.def_of_lhs.get(stmt.lhs.ref_id)
+            mapping = (
+                self.compiled.scalar_pass.decisions.get(d) if d is not None else None
+            )
+            if isinstance(mapping, ReductionMapping):
+                return list(self.grid.all_ranks())
+        if info.kind == "all":
+            return list(self.grid.all_ranks())
+        return self._ranks_of_position(info.position, env)
+
+    # ==================================================================
+    # Statement execution
+    # ==================================================================
+
+    def _flops(self, stmt: Stmt) -> int:
+        if isinstance(stmt, AssignStmt):
+            return max(flops_of_expr(stmt.rhs), 1)
+        if isinstance(stmt, IfStmt):
+            return max(flops_of_expr(stmt.cond), 1)
+        return 0
+
+    def exec_assign(self, stmt: AssignStmt, env) -> None:
+        ranks = self.executor_ranks(stmt, env)
+        if not ranks:
+            raise SimulationError(f"S{stmt.stmt_id}: empty executor set")
+        reduction_entry = self._reduction_updates.get(stmt.stmt_id)
+        is_private_accumulation = reduction_entry is not None
+
+        if isinstance(stmt.lhs, ArrayElemRef):
+            name = stmt.lhs.symbol.name
+            written_index = None
+            for rank in ranks:
+                reader = _FetchingReader(self, rank, stmt)
+                index = eval_subscripts(stmt.lhs, reader, env)
+                value = eval_expr(stmt.rhs, reader, env)
+                value = coerce_store(value, stmt.lhs.symbol.type)
+                self.memories[rank].array_store(name, index, value)
+                self.clocks.charge_compute(rank, self._flops(stmt))
+                written_index = index
+            if written_index is not None and not is_private_accumulation:
+                for rank in self.grid.all_ranks():
+                    if rank not in ranks:
+                        self.memories[rank].array_invalidate(name, written_index)
+        else:
+            name = stmt.lhs.symbol.name
+            for rank in ranks:
+                reader = _FetchingReader(self, rank, stmt)
+                value = eval_expr(stmt.rhs, reader, env)
+                value = coerce_store(value, stmt.lhs.symbol.type)
+                self.memories[rank].scalar_store(name, value)
+                self.clocks.charge_compute(rank, self._flops(stmt))
+            if not is_private_accumulation and len(ranks) < self.grid.size:
+                for rank in self.grid.all_ranks():
+                    if rank not in ranks:
+                        self.memories[rank].scalar_invalidate(name)
+
+    def exec_condition(self, stmt: IfStmt, env) -> bool:
+        decision = self.compiled.cf_decisions.get(stmt.stmt_id)
+        if decision is not None and decision.privatized:
+            ranks = self._dependent_ranks(decision, env)
+        else:
+            ranks = list(self.grid.all_ranks())
+        if not ranks:
+            # Nobody depends on the outcome; evaluate for control flow
+            # only (free).
+            return bool(eval_expr(stmt.cond, self.authoritative, env))
+        results = set()
+        for rank in ranks:
+            reader = _FetchingReader(self, rank, stmt)
+            value = bool(eval_expr(stmt.cond, reader, env))
+            self.clocks.charge_compute(rank, self._flops(stmt))
+            results.add(value)
+        if len(results) != 1:
+            raise SimulationError(
+                f"S{stmt.stmt_id}: predicate disagrees across processors"
+            )
+        return results.pop()
+
+    def _dependent_ranks(self, decision, env) -> list[int]:
+        ranks: set[int] = set()
+        for ref in decision.dependent_refs:
+            dep_stmt = self.proc.stmt_of_ref(ref)
+            ranks.update(self.executor_ranks(dep_stmt, env))
+        return sorted(ranks)
+
+    # ==================================================================
+    # Reductions
+    # ==================================================================
+
+    def _participant_groups(self, mapping: ReductionMapping, env):
+        """Groups of ranks combining together: the aligned (non-reduced)
+        coordinates are fixed by the target's position; the reduction
+        dims span all coordinates."""
+        import itertools
+
+        target_mapping = self.compiled.mappings[mapping.target.symbol.name]
+        axes: list[list[int]] = []
+        for g in range(self.grid.rank):
+            if g in mapping.replicated_grid_dims:
+                axes.append(list(range(self.grid.shape[g])))
+                continue
+            role = target_mapping.roles[g]
+            if role.kind != "dist":
+                axes.append(list(range(self.grid.shape[g])))
+                continue
+            sub = mapping.target.subscripts[role.array_dim]
+            from ..ir.expr import affine_form
+
+            form = affine_form(sub)
+            if form is None:
+                axes.append(list(range(self.grid.shape[g])))
+                continue
+            pos = role.stride * self._eval_form(form, env) + role.norm_offset
+            axes.append([role.fmt.owner(pos)])
+        ranks = [self.grid.rank_of(c) for c in itertools.product(*axes)]
+        return [sorted(ranks)]
+
+    def on_loop_enter(self, stmt: LoopStmt, env) -> None:
+        var_name = stmt.var.name
+        self._active_loop_vars[var_name] = (
+            self._active_loop_vars.get(var_name, 0) + 1
+        )
+        for reduction, mapping in self._reductions_by_loop.get(stmt.stmt_id, ()):
+            key = (stmt.stmt_id, reduction.symbol.name)
+            name = reduction.symbol.name
+            if reduction.is_array_reduction:
+                self._reduction_snapshots[key] = {
+                    memory.rank: memory.arrays[name].copy()
+                    for memory in self.memories
+                }
+            else:
+                snapshot: dict[int, float] = {}
+                for memory in self.memories:
+                    if memory.scalar_is_valid(name):
+                        snapshot[memory.rank] = memory.scalar_value(name)
+                self._reduction_snapshots[key] = snapshot
+
+    def on_loop_exit(self, stmt: LoopStmt, env) -> None:
+        var_name = stmt.var.name
+        count = self._active_loop_vars.get(var_name, 0) - 1
+        if count <= 0:
+            self._active_loop_vars.pop(var_name, None)
+        else:
+            self._active_loop_vars[var_name] = count
+        for reduction, mapping in self._reductions_by_loop.get(stmt.stmt_id, ()):
+            if reduction.is_array_reduction:
+                self._combine_array(reduction, mapping, stmt, env)
+            else:
+                self._combine(reduction, mapping, stmt, env)
+
+    def _combine_array(
+        self, reduction, mapping: ReductionMapping, loop: LoopStmt, env
+    ) -> None:
+        """Element-wise combine of an array-valued reduction at the
+        reduction loop's exit (paper Section 3.1): for each accumulator
+        element, merge the partials held by its owner group."""
+        import itertools
+
+        name = reduction.symbol.name
+        acc_mapping = self.compiled.mappings[name]
+        symbol = acc_mapping.array
+        snapshots = self._reduction_snapshots.get(
+            (loop.stmt_id, name), {}
+        )
+        group_elements: dict[tuple[int, ...], int] = {}
+        ranges = [range(lo, hi + 1) for lo, hi in symbol.dims]
+        for index in itertools.product(*ranges):
+            group = tuple(sorted(acc_mapping.owner_ranks(index)))
+            if len(group) <= 1:
+                continue
+            offset = self.memories[group[0]].offset(name, index)
+            partials = []
+            for rank in group:
+                base = snapshots[rank][offset] if rank in snapshots else 0.0
+                value = self.memories[rank].arrays[name][offset]
+                partials.append((rank, float(value), float(base)))
+            if all(v == b for _, v, b in partials):
+                continue  # untouched element
+            if reduction.op == "+":
+                combined = partials[0][2] + sum(v - b for _, v, b in partials)
+            elif reduction.op == "*":
+                combined = partials[0][2]
+                for _, v, b in partials:
+                    if b == 0:
+                        raise SimulationError(
+                            "array product reduction from zero base"
+                        )
+                    combined *= v / b
+            elif reduction.op == "MAX":
+                combined = max(v for _, v, _ in partials)
+            elif reduction.op == "MIN":
+                combined = min(v for _, v, _ in partials)
+            else:
+                raise SimulationError(
+                    f"unknown array reduction op {reduction.op}"
+                )
+            for rank in group:
+                self.memories[rank].array_store(name, index, combined)
+            group_elements[group] = group_elements.get(group, 0) + 1
+        for group, elements in group_elements.items():
+            self.clocks.charge_collective(list(group), elements, "reduce")
+            self.stats.reductions += 1
+            self.trace.record(
+                "reduce",
+                f"{reduction.op}({name})[{elements} elems] across ranks "
+                f"{list(group)}",
+            )
+
+    def _combine(self, reduction, mapping: ReductionMapping, loop: LoopStmt, env) -> None:
+        name = reduction.symbol.name
+        snapshot = self._reduction_snapshots.get((loop.stmt_id, name), {})
+        for group in self._participant_groups(mapping, env):
+            partials = []
+            for rank in group:
+                memory = self.memories[rank]
+                if memory.scalar_is_valid(name):
+                    partials.append((rank, memory.scalar_value(name)))
+            if not partials:
+                continue
+            if reduction.op == "+":
+                base = snapshot.get(partials[0][0], 0.0)
+                combined = base + sum(v - snapshot.get(r, base) for r, v in partials)
+                loc_value = None
+            elif reduction.op == "*":
+                base = snapshot.get(partials[0][0], 1.0)
+                combined = base
+                for r, v in partials:
+                    prev = snapshot.get(r, base)
+                    if prev == 0:
+                        raise SimulationError("product reduction from zero base")
+                    combined *= v / prev
+                loc_value = None
+            elif reduction.op in ("MAX", "MAXLOC"):
+                best_rank, combined = max(partials, key=lambda t: t[1])
+                loc_value = self._location_of(reduction, best_rank)
+            elif reduction.op in ("MIN", "MINLOC"):
+                best_rank, combined = min(partials, key=lambda t: t[1])
+                loc_value = self._location_of(reduction, best_rank)
+            else:
+                raise SimulationError(f"unknown reduction op {reduction.op}")
+            if len(group) > 1:
+                self.clocks.charge_collective(group, 1, "reduce")
+                self.stats.reductions += 1
+                self.trace.record(
+                    "reduce",
+                    f"{reduction.op}({name}) across ranks {group}",
+                )
+            for rank in self.grid.all_ranks():
+                memory = self.memories[rank]
+                if rank in group:
+                    memory.scalar_store(name, combined)
+                    if loc_value is not None and reduction.location_symbol is not None:
+                        memory.scalar_store(reduction.location_symbol.name, loc_value)
+                else:
+                    memory.scalar_invalidate(name)
+                    if reduction.location_symbol is not None:
+                        memory.scalar_invalidate(reduction.location_symbol.name)
+
+    def _location_of(self, reduction, rank: int):
+        if reduction.location_symbol is None:
+            return None
+        memory = self.memories[rank]
+        loc_name = reduction.location_symbol.name
+        if memory.scalar_is_valid(loc_name):
+            return memory.scalar_value(loc_name)
+        return None
+
+    # ==================================================================
+    # Results
+    # ==================================================================
+
+    def gather(self, name: str) -> np.ndarray:
+        """Reassemble the global array from owning ranks."""
+        name = name.upper()
+        mapping = self.compiled.mappings[name]
+        symbol = mapping.array
+        shape = tuple(symbol.extent(d) for d in range(symbol.rank))
+        result = np.zeros(shape, dtype=self.memories[0].arrays[name].dtype)
+        import itertools
+
+        ranges = [range(lo, hi + 1) for lo, hi in symbol.dims]
+        for index in itertools.product(*ranges):
+            value = self.authoritative_array(name, index)
+            offset = tuple(idx - lo for idx, (lo, _) in zip(index, symbol.dims))
+            result[offset] = value
+        return result
+
+    def gather_scalar(self, name: str):
+        return self.authoritative_scalar(name.upper())
+
+    @property
+    def elapsed(self) -> float:
+        return self.clocks.elapsed
+
+
+def simulate(
+    compiled: CompiledProgram,
+    inputs: dict[str, np.ndarray] | None = None,
+    machine: MachineModel | None = None,
+    trace_capacity: int = 0,
+) -> SPMDSimulator:
+    sim = SPMDSimulator(compiled, machine, trace_capacity=trace_capacity)
+    for name, values in (inputs or {}).items():
+        sim.set_array(name, values)
+    sim.run()
+    return sim

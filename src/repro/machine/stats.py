@@ -1,0 +1,132 @@
+"""Virtual clocks and traffic statistics of the simulated machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..comm.costmodel import MachineModel
+
+
+@dataclass
+class TrafficStats:
+    messages: int = 0
+    elements: int = 0
+    fetches: int = 0
+    unexpected_fetches: int = 0
+    broadcasts: int = 0
+    reductions: int = 0
+    #: (stmt_id, ref_id) -> fetch count, for cross-validation against
+    #: the static communication analysis
+    per_event_fetches: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def record_fetch(self, key: tuple[int, int] | None, elements: int = 1) -> None:
+        self.fetches += 1
+        self.elements += elements
+        if key is None:
+            self.unexpected_fetches += 1
+        else:
+            self.per_event_fetches[key] = self.per_event_fetches.get(key, 0) + 1
+
+
+@dataclass
+class TraceRecord:
+    """One traced runtime event."""
+
+    kind: str  # "fetch" | "reduce" | "exec"
+    detail: str
+    src: int | None = None
+    dst: int | None = None
+
+    def __str__(self) -> str:
+        route = ""
+        if self.src is not None and self.dst is not None:
+            route = f" [{self.src}->{self.dst}]"
+        elif self.dst is not None:
+            route = f" [@{self.dst}]"
+        return f"{self.kind:6s}{route} {self.detail}"
+
+
+class Trace:
+    """Bounded ring of runtime events (off unless a capacity is set)."""
+
+    def __init__(self, capacity: int = 0):
+        self.capacity = capacity
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def record(self, kind: str, detail: str, src: int | None = None, dst: int | None = None) -> None:
+        if not self.enabled:
+            return
+        if len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(kind=kind, detail=detail, src=src, dst=dst))
+
+    def render(self) -> str:
+        lines = [str(r) for r in self.records]
+        if self.dropped:
+            lines.append(f"... {self.dropped} further event(s) not recorded")
+        return "\n".join(lines) if lines else "no traced events"
+
+
+class Clocks:
+    """Per-rank virtual time, advanced by compute and message events."""
+
+    def __init__(self, num_ranks: int, machine: MachineModel):
+        self.machine = machine
+        self.time = [0.0] * num_ranks
+        self.compute_time = [0.0] * num_ranks
+        self.comm_time = [0.0] * num_ranks
+
+    def charge_compute(self, rank: int, flops: int) -> None:
+        dt = self.machine.compute_time(flops, 1)
+        self.time[rank] += dt
+        self.compute_time[rank] += dt
+
+    def charge_message(self, src: int, dst: int, elements: int) -> None:
+        dt = self.machine.message_time(elements)
+        start = max(self.time[src], self.time[dst])
+        self.time[src] = start + dt
+        self.time[dst] = start + dt
+        self.comm_time[src] += dt
+        self.comm_time[dst] += dt
+
+    def charge_message_amortized(self, src: int, dst: int, elements: int, startup: bool) -> None:
+        """Per-element transfer charging with one startup per coalesced
+        message (message vectorization at run time)."""
+        dt = self.machine.beta * self.machine.element_bytes * elements
+        if startup:
+            dt += self.machine.alpha
+        start = max(self.time[src], self.time[dst])
+        self.time[src] = start + dt
+        self.time[dst] = start + dt
+        self.comm_time[src] += dt
+        self.comm_time[dst] += dt
+
+    def charge_collective(self, ranks: list[int], elements: int, kind: str) -> None:
+        if len(ranks) <= 1:
+            return
+        if kind == "reduce":
+            dt = self.machine.reduce_time(elements, len(ranks))
+        else:
+            dt = self.machine.broadcast_time(elements, len(ranks))
+        start = max(self.time[r] for r in ranks)
+        for r in ranks:
+            self.time[r] = start + dt
+            self.comm_time[r] += dt
+
+    @property
+    def elapsed(self) -> float:
+        return max(self.time) if self.time else 0.0
+
+    @property
+    def total_compute(self) -> float:
+        return sum(self.compute_time)
+
+    @property
+    def total_comm(self) -> float:
+        return sum(self.comm_time)

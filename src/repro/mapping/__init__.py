@@ -1,0 +1,21 @@
+"""Data-mapping substrate: processor grids, distribution formats,
+ownership descriptors, and directive resolution."""
+
+from .descriptors import (
+    ArrayMapping,
+    GridDimRole,
+    replicated_mapping,
+    resolve_mappings,
+)
+from .distribution import DimFormat
+from .grid import ProcessorGrid, default_grid
+
+__all__ = [
+    "ArrayMapping",
+    "GridDimRole",
+    "replicated_mapping",
+    "resolve_mappings",
+    "DimFormat",
+    "ProcessorGrid",
+    "default_grid",
+]

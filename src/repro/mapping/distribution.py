@@ -1,0 +1,97 @@
+"""Distribution formats (BLOCK / CYCLIC(k) / collapsed) and the
+ownership arithmetic they induce, including local↔global index
+translation used by the SPMD runtime.
+
+All functions work on 0-based *normalized* indices (global index minus
+the declared lower bound); callers normalize once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MappingError
+
+
+@dataclass(frozen=True)
+class DimFormat:
+    """Distribution of one array dimension over one grid dimension."""
+
+    kind: str  # "block" | "cyclic"
+    extent: int  # number of array elements along the dimension
+    procs: int  # grid extent it is distributed over
+    chunk: int = 1  # CYCLIC(k) chunk; ignored for block
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("block", "cyclic"):
+            raise MappingError(f"bad distribution kind {self.kind!r}")
+        if self.extent < 1 or self.procs < 1 or self.chunk < 1:
+            raise MappingError(
+                f"bad distribution parameters extent={self.extent} "
+                f"procs={self.procs} chunk={self.chunk}"
+            )
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def block_size(self) -> int:
+        """BLOCK distribution block size: ceil(extent / procs)."""
+        return -(-self.extent // self.procs)
+
+    # -- ownership ------------------------------------------------------------
+
+    def owner(self, index: int) -> int:
+        """Grid coordinate owning normalized ``index``."""
+        if not 0 <= index < self.extent:
+            raise MappingError(f"index {index} outside extent {self.extent}")
+        if self.kind == "block":
+            return index // self.block_size
+        return (index // self.chunk) % self.procs
+
+    # -- local section ------------------------------------------------------------
+
+    def local_count(self, coord: int) -> int:
+        """Number of elements owned by grid coordinate ``coord``."""
+        if not 0 <= coord < self.procs:
+            raise MappingError(f"coord {coord} outside procs {self.procs}")
+        if self.kind == "block":
+            start = coord * self.block_size
+            if start >= self.extent:
+                return 0
+            return min(self.block_size, self.extent - start)
+        full_cycles, rem = divmod(self.extent, self.chunk * self.procs)
+        count = full_cycles * self.chunk
+        offset = coord * self.chunk
+        count += max(0, min(self.chunk, rem - offset))
+        return count
+
+    def to_local(self, index: int) -> int:
+        """Local position (0-based, dense) of normalized global ``index``
+        on its owner."""
+        if self.kind == "block":
+            return index % self.block_size
+        cycle, within = divmod(index, self.chunk * self.procs)
+        return cycle * self.chunk + within % self.chunk
+
+    def to_global(self, coord: int, local: int) -> int:
+        """Inverse of :meth:`to_local` for the section of ``coord``."""
+        if self.kind == "block":
+            index = coord * self.block_size + local
+        else:
+            cycle, within = divmod(local, self.chunk)
+            index = cycle * self.chunk * self.procs + coord * self.chunk + within
+        if not 0 <= index < self.extent:
+            raise MappingError(
+                f"local {local} on coord {coord} maps outside extent {self.extent}"
+            )
+        return index
+
+    def owned_indices(self, coord: int):
+        """Iterate the normalized global indices owned by ``coord``,
+        ascending."""
+        for local in range(self.local_count(coord)):
+            yield self.to_global(coord, local)
+
+    def max_local_count(self) -> int:
+        """Maximum section size over all coordinates (allocation size)."""
+        return max(self.local_count(c) for c in range(self.procs))

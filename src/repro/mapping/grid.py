@@ -1,0 +1,103 @@
+"""Multi-dimensional processor grids (HPF PROCESSORS arrangements)."""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+from ..errors import MappingError
+
+
+@dataclass(frozen=True)
+class ProcessorGrid:
+    """A d-dimensional arrangement of P processors.
+
+    Ranks are row-major over the grid coordinates: the last grid
+    dimension varies fastest.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shape or any(s < 1 for s in self.shape):
+            raise MappingError(f"invalid grid shape {self.shape}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        return math.prod(self.shape)
+
+    def coords_of(self, rank: int) -> tuple[int, ...]:
+        if not 0 <= rank < self.size:
+            raise MappingError(f"rank {rank} out of range for {self.shape}")
+        coords = []
+        rest = rank
+        for extent in reversed(self.shape):
+            coords.append(rest % extent)
+            rest //= extent
+        coords.reverse()
+        return tuple(coords)
+
+    def rank_of(self, coords: tuple[int, ...]) -> int:
+        if len(coords) != self.rank:
+            raise MappingError(f"coords {coords} do not match grid rank {self.rank}")
+        rank = 0
+        for coord, extent in zip(coords, self.shape):
+            if not 0 <= coord < extent:
+                raise MappingError(f"coord {coords} out of grid {self.shape}")
+            rank = rank * extent + coord
+        return rank
+
+    def all_coords(self):
+        yield from itertools.product(*(range(s) for s in self.shape))
+
+    def all_ranks(self) -> range:
+        return range(self.size)
+
+    def neighbors(self, rank: int, dim: int) -> tuple[int | None, int | None]:
+        """(previous, next) rank along grid dimension ``dim``."""
+        coords = list(self.coords_of(rank))
+        prev_rank = next_rank = None
+        if coords[dim] > 0:
+            coords[dim] -= 1
+            prev_rank = self.rank_of(tuple(coords))
+            coords[dim] += 1
+        if coords[dim] < self.shape[dim] - 1:
+            coords[dim] += 1
+            next_rank = self.rank_of(tuple(coords))
+        return prev_rank, next_rank
+
+
+def default_grid(num_procs: int, rank: int = 1, name: str = "P") -> ProcessorGrid:
+    """A reasonable default grid of ``num_procs`` processors with the
+    requested dimensionality (used when a program lacks a PROCESSORS
+    directive). Multi-dimensional shapes are made as square as possible.
+    """
+    if rank == 1:
+        return ProcessorGrid(name=name, shape=(num_procs,))
+    shape = _balanced_factorization(num_procs, rank)
+    return ProcessorGrid(name=name, shape=shape)
+
+
+def _balanced_factorization(n: int, parts: int) -> tuple[int, ...]:
+    """Factor ``n`` into ``parts`` factors, as equal as possible."""
+    shape = [1] * parts
+    remaining = n
+    for k in range(parts):
+        target = round(remaining ** (1.0 / (parts - k)))
+        factor = 1
+        for candidate in range(target, 0, -1):
+            if remaining % candidate == 0:
+                factor = candidate
+                break
+        shape[k] = factor
+        remaining //= factor
+    shape[-1] *= remaining if math.prod(shape) != n else 1
+    if math.prod(shape) != n:  # pragma: no cover - defensive
+        raise MappingError(f"cannot factor {n} into {parts} dimensions")
+    return tuple(sorted(shape, reverse=True))

@@ -1,0 +1,5 @@
+"""Computation partitioning (owner-computes executor sets and guards)."""
+
+from .owner_computes import ExecutorInfo, PartitionPass, run_partitioning
+
+__all__ = ["ExecutorInfo", "PartitionPass", "run_partitioning"]

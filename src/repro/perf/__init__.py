@@ -1,0 +1,20 @@
+"""Analytic performance estimation over compiled programs."""
+
+from .memory import MemoryReport, memory_report
+from .estimator import (
+    EventCost,
+    PerfEstimate,
+    PerfEstimator,
+    StmtCost,
+    estimate_performance,
+)
+
+__all__ = [
+    "MemoryReport",
+    "memory_report",
+    "EventCost",
+    "PerfEstimate",
+    "PerfEstimator",
+    "StmtCost",
+    "estimate_performance",
+]

@@ -1,0 +1,53 @@
+"""Per-processor memory accounting.
+
+Privatization's classical rival — scalar/array *expansion* (the paper's
+references [16] and [7]) — buys the same storage-dependence removal by
+materializing one copy per iteration, at a memory cost. This module
+quantifies the comparison: the per-processor bytes implied by a
+compiled program's effective mappings,
+
+* a distributed dimension stores ``max_local_count`` elements,
+* replicated and privatized dimensions store the full extent (the
+  privatized copy is reused across iterations — that is privatization's
+  memory advantage over expansion),
+* scalars cost one element each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.driver import CompiledProgram
+
+
+@dataclass
+class MemoryReport:
+    """Bytes per processor, by variable."""
+
+    element_bytes: int
+    arrays: dict[str, int] = field(default_factory=dict)
+    scalars: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.arrays.values()) + self.scalars
+
+    def summary(self) -> str:
+        lines = [f"per-processor memory: {self.total_bytes / 1024:.1f} KiB"]
+        for name in sorted(self.arrays, key=lambda n: -self.arrays[n]):
+            lines.append(f"  {name:10s} {self.arrays[name] / 1024:10.1f} KiB")
+        lines.append(f"  {'<scalars>':10s} {self.scalars / 1024:10.1f} KiB")
+        return "\n".join(lines)
+
+
+def memory_report(compiled: CompiledProgram) -> MemoryReport:
+    """Per-processor memory footprint of the compiled program."""
+    element_bytes = compiled.options.machine.element_bytes
+    report = MemoryReport(element_bytes=element_bytes)
+    for name, mapping in compiled.mappings.items():
+        elements = 1
+        for extent in mapping.local_shape():
+            elements *= extent
+        report.arrays[name] = elements * element_bytes
+    report.scalars = element_bytes * len(list(compiled.proc.symbols.scalars()))
+    return report

@@ -1,0 +1,31 @@
+"""Benchmark programs and paper-figure fragments in the mini-HPF
+dialect."""
+
+from .appsp import appsp_inputs, appsp_source
+from .dgefa import dgefa_inputs, dgefa_modular_source, dgefa_reference, dgefa_source
+from .figures import (
+    figure1_source,
+    figure2_source,
+    figure4_source,
+    figure5_source,
+    figure6_source,
+    figure7_source,
+)
+from .tomcatv import tomcatv_inputs, tomcatv_source
+
+__all__ = [
+    "appsp_inputs",
+    "appsp_source",
+    "dgefa_inputs",
+    "dgefa_modular_source",
+    "dgefa_reference",
+    "dgefa_source",
+    "figure1_source",
+    "figure2_source",
+    "figure4_source",
+    "figure5_source",
+    "figure6_source",
+    "figure7_source",
+    "tomcatv_inputs",
+    "tomcatv_source",
+]

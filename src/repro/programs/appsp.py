@@ -1,0 +1,175 @@
+"""APPSP — the NAS pseudo-application kernel of the paper's Figure 6
+and Table 3, in four configurations.
+
+The kernel is the sweep structure the paper's Section 3.2 dissects: a
+work array ``C`` is computed and consumed inside the ``k`` sweep — it is
+privatizable with respect to the ``k`` loop (NEW clause) but **not**
+with respect to the ``j`` loop, because consecutive ``j`` iterations
+exchange values through ``C(i, j-1, 1)``. A ``z``-sweep with a true
+recurrence along ``k`` follows, which is what makes multi-dimensional
+distributions attractive in the first place.
+
+Table 3 variants (matching the paper's Section 5.3 description):
+
+* ``1-D``  — ``DISTRIBUTE (*,*,*,BLOCK)`` on P(procs) "with
+  redistribution (transpose) of data in the sweepz subroutine": the
+  z-sweep runs on j-distributed copies, with a global transpose in and
+  out (``sweepz="transpose"``, the default for 1-D). Full privatization
+  of ``C`` is legal;
+* ``2-D``  — ``DISTRIBUTE (*,*,BLOCK,BLOCK)`` on a 2-D grid, "a fixed
+  2-D distribution throughout the program": the z-sweep pipelines along
+  the distributed k dimension (``sweepz="direct"``). Full privatization
+  of ``C`` fails (AlignLevel of the target exceeds the NEW loop's
+  level) and only **partial privatization** — partition the ``j``
+  dimension of ``C``, privatize along the ``k`` grid dimension —
+  exploits both levels of parallelism;
+* each × array privatization enabled/disabled
+  (``CompilerOptions.privatize_arrays`` / ``partial_privatization``).
+"""
+
+from __future__ import annotations
+
+_SWEEPZ_DIRECT = """    DO j = 2, ny - 1
+      DO k = 3, nz - 1
+        DO i = 2, nx - 1
+          RSD(3, i, j, k) = RSD(3, i, j, k - 1) + 0.5 * RSD(1, i, j, k)
+        END DO
+      END DO
+    END DO
+"""
+
+#: "redistribution (transpose) of data in the sweepz subroutine":
+#: copy the swept components into j-distributed temporaries, sweep
+#: locally along k, copy back.
+_SWEEPZ_TRANSPOSE = """    DO k = 2, nz - 1
+      DO j = 2, ny - 1
+        DO i = 2, nx - 1
+          RT1(i, j, k) = RSD(1, i, j, k)
+          RT3(i, j, k) = RSD(3, i, j, k)
+        END DO
+      END DO
+    END DO
+    DO j = 2, ny - 1
+      DO k = 3, nz - 1
+        DO i = 2, nx - 1
+          RT3(i, j, k) = RT3(i, j, k - 1) + 0.5 * RT1(i, j, k)
+        END DO
+      END DO
+    END DO
+    DO k = 3, nz - 1
+      DO j = 2, ny - 1
+        DO i = 2, nx - 1
+          RSD(3, i, j, k) = RT3(i, j, k)
+        END DO
+      END DO
+    END DO
+"""
+
+APPSP_TEMPLATE = """
+PROGRAM APPSP
+  PARAMETER (nx = {nx}, ny = {ny}, nz = {nz}, niter = {niter})
+  REAL U(5, nx, ny, nz), RSD(5, nx, ny, nz)
+  REAL C(nx, ny, 2)
+{transpose_decls}!HPF$ PROCESSORS PROCS({procs_spec})
+!HPF$ ALIGN U(m, i, j, k) WITH RSD(m, i, j, k)
+!HPF$ DISTRIBUTE ({dist_spec}) :: RSD
+{transpose_dist}  DO it = 1, niter
+{new_clause}    DO k = 2, nz - 1
+      DO j = 2, ny - 1
+        DO i = 2, nx - 1
+          C(i, j, 1) = RSD(1, i, j, k) + 0.5 * U(2, i, j, k)
+          C(i, j, 2) = RSD(3, i, j, k) - 0.25 * U(2, i, j, k)
+        END DO
+      END DO
+      DO j = 3, ny - 1
+        DO i = 2, nx - 1
+          RSD(1, i, j, k) = C(i, j, 1) * C(i, j - 1, 1) + C(i, j, 2) &
+            + U(4, i, j, k)
+          RSD(2, i, j, k) = C(i, j, 1) - C(i, j - 1, 2)
+        END DO
+      END DO
+    END DO
+{sweepz}  END DO
+END PROGRAM
+"""
+
+
+def appsp_source(
+    nx: int = 64,
+    ny: int = 64,
+    nz: int = 64,
+    niter: int = 5,
+    procs: int = 16,
+    distribution: str = "2d",
+    use_new_clause: bool = True,
+    sweepz: str | None = None,
+) -> str:
+    """Mini-HPF APPSP kernel source.
+
+    ``distribution``: ``"1d"`` → ``(*,*,*,BLOCK)`` over P(procs);
+    ``"2d"`` → ``(*,*,BLOCK,BLOCK)`` over a near-square 2-D grid.
+
+    ``sweepz``: ``"transpose"`` (redistribute, sweep locally, copy back
+    — the paper's 1-D variant, and the 1-D default) or ``"direct"``
+    (pipeline the recurrence along k — the fixed-distribution 2-D
+    variant, and the 2-D default).
+
+    ``use_new_clause=False`` omits the ``INDEPENDENT, NEW(C)`` directive
+    so the compiler must infer C's privatizability automatically
+    (``CompilerOptions(auto_privatize_arrays=True)``).
+    """
+    if distribution == "1d":
+        procs_spec = str(procs)
+        dist_spec = "*, *, *, BLOCK"
+        sweepz = sweepz or "transpose"
+    elif distribution == "2d":
+        p0, p1 = _square_factors(procs)
+        procs_spec = f"{p0}, {p1}"
+        dist_spec = "*, *, BLOCK, BLOCK"
+        sweepz = sweepz or "direct"
+    else:
+        raise ValueError(f"unknown distribution {distribution!r}")
+
+    if sweepz == "direct":
+        sweepz_body = _SWEEPZ_DIRECT
+        transpose_decls = ""
+        transpose_dist = ""
+    elif sweepz == "transpose":
+        if distribution != "1d":
+            raise ValueError("the transpose sweepz is the 1-D variant")
+        sweepz_body = _SWEEPZ_TRANSPOSE
+        transpose_decls = "  REAL RT1(nx, ny, nz), RT3(nx, ny, nz)\n"
+        transpose_dist = "!HPF$ DISTRIBUTE (*, BLOCK, *) :: RT1, RT3\n"
+    else:
+        raise ValueError(f"unknown sweepz variant {sweepz!r}")
+
+    new_clause = "!HPF$ INDEPENDENT, NEW(C)\n" if use_new_clause else ""
+    return APPSP_TEMPLATE.format(
+        nx=nx,
+        ny=ny,
+        nz=nz,
+        niter=niter,
+        procs_spec=procs_spec,
+        dist_spec=dist_spec,
+        new_clause=new_clause,
+        sweepz=sweepz_body,
+        transpose_decls=transpose_decls,
+        transpose_dist=transpose_dist,
+    )
+
+
+def _square_factors(p: int) -> tuple[int, int]:
+    best = (1, p)
+    for a in range(1, int(p**0.5) + 1):
+        if p % a == 0:
+            best = (p // a, a)
+    return best
+
+
+def appsp_inputs(nx: int, ny: int, nz: int, seed: int = 23):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    u = rng.uniform(0.5, 1.5, size=(5, nx, ny, nz))
+    rsd = rng.uniform(0.5, 1.5, size=(5, nx, ny, nz))
+    return {"U": u, "RSD": rsd}

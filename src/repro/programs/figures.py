@@ -1,0 +1,174 @@
+"""The paper's Figures 1, 2, 4, 5, 6 and 7 as compilable mini-HPF
+fragments — each reproduced verbatim (modulo the dialect's syntax) so
+the tests can assert the exact compilation behaviour the paper claims.
+(Figure 3 is the DetermineMapping pseudocode itself, implemented in
+``repro.core.scalar_mapping``.)
+"""
+
+from __future__ import annotations
+
+#: Figure 1 — alignment choices for privatized scalars. Expected:
+#: m -> induction variable, closed form i+1, private without alignment;
+#: x -> aligned with the consumer reference D(m);
+#: y -> aligned with the producer reference A(i);
+#: z -> private without alignment (rhs fully replicated).
+FIGURE1 = """
+PROGRAM FIG1
+  PARAMETER (n = {n})
+  REAL A(n), B(n), C(n), D(n), E(n), F(n)
+  REAL x, y, z
+  INTEGER m
+!HPF$ PROCESSORS PROCS({procs})
+!HPF$ ALIGN (i) WITH A(i) :: B, C, D
+!HPF$ ALIGN (i) WITH A(*) :: E, F
+!HPF$ DISTRIBUTE (BLOCK) :: A
+  m = 2
+  DO i = 2, n - 1
+    m = m + 1
+    x = B(i) + C(i)
+    y = A(i) + B(i)
+    z = E(i) + F(i)
+    A(i + 1) = y / z
+    D(m) = x / z
+  END DO
+END PROGRAM
+"""
+
+#: Figure 2 — availability requirements for subscripts. Expected:
+#: consumer of p's use is the lhs A(i) (H(i,p) needs no communication),
+#: consumer of q's use is the dummy replicated reference (G(q,i) needs
+#: communication, so its subscript must be broadcast).
+FIGURE2 = """
+PROGRAM FIG2
+  PARAMETER (n = {n})
+  REAL H(n, n), G(n, n), A(n), B(n), C(n)
+  INTEGER p, q
+!HPF$ PROCESSORS PROCS({procs})
+!HPF$ ALIGN G(i, j) WITH H(i, j)
+!HPF$ ALIGN A(i) WITH H(i, *)
+!HPF$ DISTRIBUTE (BLOCK, *) :: H
+  DO i = 1, n
+    p = INT(B(i))
+    q = INT(C(i))
+    A(i) = H(i, p) + G(q, i)
+  END DO
+END PROGRAM
+"""
+
+#: Figure 4 — AlignLevel for array references. Expected:
+#: AlignLevel(A(i,j,k)) = 2 (the j loop), AlignLevel(B(s,j,k)) = 3 (the
+#: k loop, outermost loop in which subscript s is invariant).
+FIGURE4 = """
+PROGRAM FIG4
+  PARAMETER (n = {n})
+  REAL A(n, n, n), B(n, n, n)
+  INTEGER s
+!HPF$ PROCESSORS PROCS({p0}, {p1})
+!HPF$ DISTRIBUTE (BLOCK, BLOCK, *) :: A, B
+  DO i = 1, n
+    DO j = 1, n
+      s = i * j - i + 1
+      DO k = 1, n
+        A(i, j, k) = 1.0
+        B(s, j, k) = 2.0
+      END DO
+    END DO
+  END DO
+END PROGRAM
+"""
+
+#: Figure 5 — scalar involved in a reduction. Expected: the sum over j
+#: is recognized; s is replicated along the second grid dimension and
+#: aligned with the i-th row of A in the first, so the reduction
+#: proceeds without broadcasting the row.
+FIGURE5 = """
+PROGRAM FIG5
+  PARAMETER (n = {n})
+  REAL A(n, n), B(n)
+  REAL s
+!HPF$ PROCESSORS PROCS({p0}, {p1})
+!HPF$ ALIGN B(i) WITH A(i, *)
+!HPF$ DISTRIBUTE (BLOCK, BLOCK) :: A
+  DO i = 1, n
+    s = 0.0
+    DO j = 1, n
+      s = s + A(i, j)
+    END DO
+    B(i) = s
+  END DO
+END PROGRAM
+"""
+
+#: Figure 6 — need for partial privatization (see repro.programs.appsp
+#: for the full kernel). Expected under the 2-D distribution: full
+#: privatization of C fails; partial privatization partitions C's j
+#: dimension on grid dim 0 and privatizes grid dim 1.
+FIGURE6 = """
+PROGRAM FIG6
+  PARAMETER (nx = {n}, ny = {n}, nz = {n})
+  REAL RSD(5, nx, ny, nz)
+  REAL C(nx, ny, 2)
+!HPF$ PROCESSORS PROCS({p0}, {p1})
+!HPF$ DISTRIBUTE (*, *, BLOCK, BLOCK) :: RSD
+!HPF$ INDEPENDENT, NEW(C)
+  DO k = 2, nz - 1
+    DO j = 2, ny - 1
+      DO i = 2, nx - 1
+        C(i, j, 1) = RSD(2, i, j, k)
+      END DO
+    END DO
+    DO j = 3, ny - 1
+      DO i = 2, nx - 1
+        RSD(1, i, j, k) = C(i, j - 1, 1)
+      END DO
+    END DO
+  END DO
+END PROGRAM
+"""
+
+#: Figure 7 — privatized execution of control flow statements.
+#: Expected: both IFs privatized (no branch leaves the i loop), B(i)
+#: needs no communication for the predicates, the loop stays parallel.
+FIGURE7 = """
+PROGRAM FIG7
+  PARAMETER (n = {n})
+  REAL A(n), B(n), C(n)
+!HPF$ PROCESSORS PROCS({procs})
+!HPF$ ALIGN (i) WITH A(i) :: B, C
+!HPF$ DISTRIBUTE (BLOCK) :: A
+  DO i = 1, n
+    IF (B(i) /= 0.0) THEN
+      A(i) = A(i) / B(i)
+      IF (B(i) < 0.0) GO TO 100
+    ELSE
+      A(i) = C(i)
+    END IF
+    C(i) = C(i) * C(i)
+100 CONTINUE
+  END DO
+END PROGRAM
+"""
+
+
+def figure1_source(n: int = 100, procs: int = 4) -> str:
+    return FIGURE1.format(n=n, procs=procs)
+
+
+def figure2_source(n: int = 64, procs: int = 4) -> str:
+    return FIGURE2.format(n=n, procs=procs)
+
+
+def figure4_source(n: int = 16, p0: int = 2, p1: int = 2) -> str:
+    return FIGURE4.format(n=n, p0=p0, p1=p1)
+
+
+def figure5_source(n: int = 64, p0: int = 2, p1: int = 2) -> str:
+    return FIGURE5.format(n=n, p0=p0, p1=p1)
+
+
+def figure6_source(n: int = 12, p0: int = 2, p1: int = 2) -> str:
+    return FIGURE6.format(n=n, p0=p0, p1=p1)
+
+
+def figure7_source(n: int = 64, procs: int = 4) -> str:
+    return FIGURE7.format(n=n, procs=procs)

@@ -1,0 +1,117 @@
+"""TOMCATV — mesh generation with Thompson's solver (SPEC92FP), in the
+mini-HPF dialect.
+
+The kernel keeps the full SPEC structure — residual computation,
+tridiagonal solve (forward elimination and back-substitution along the
+collapsed ``i`` dimension, which stays processor-local under the
+``(*, BLOCK)`` distribution), residual max-reduction, and mesh update —
+and in particular the part that drives the paper's Table 1: the main
+loop nest defines a chain of privatizable scalars (``xx, yx, xy, yy, a,
+b, c, pxx, …, xm``) from stencil reads of the coordinate arrays and
+consumes them in writes to the residual arrays.
+
+* replicating those scalars forces every processor to execute the whole
+  nest and broadcasts the coordinate arrays ⇒ no speedup at all;
+* aligning them with *producer* references (``X(i, j+1)``) puts each
+  scalar one column away from its consumers ⇒ per-element inner-loop
+  messages;
+* the paper's algorithm aligns them with *consumer* references
+  (``RX(i, j)``) ⇒ the only remaining communication is the stencil
+  boundary exchange, vectorized out of the i/j loops.
+
+The residual max-reductions (``rxm``/``rym``) exercise the Section-2.3
+reduction mapping as well.
+
+Distribution is ``(*, BLOCK)`` over a 1-D grid, as in the paper's
+Table 1 ("(*, block), n = 513").
+"""
+
+from __future__ import annotations
+
+TOMCATV_TEMPLATE = """
+PROGRAM TOMCATV
+  PARAMETER (n = {n}, niter = {niter})
+  REAL X(n,n), Y(n,n), RX(n,n), RY(n,n), AA(n,n), DD(n,n), D(n,n)
+  REAL xx, yx, xy, yy, a, b, c
+  REAL pxx, qxx, pyy, qyy, pxy, qxy
+  REAL xm
+  REAL rxm, rym
+!HPF$ PROCESSORS PROCS({procs})
+!HPF$ ALIGN (i,j) WITH X(i,j) :: Y, RX, RY, AA, DD, D
+!HPF$ DISTRIBUTE (*, BLOCK) :: X
+  DO it = 1, niter
+    DO j = 2, n - 1
+      DO i = 2, n - 1
+        xx = X(i+1,j) - X(i-1,j)
+        yx = Y(i+1,j) - Y(i-1,j)
+        xy = X(i,j+1) - X(i,j-1)
+        yy = Y(i,j+1) - Y(i,j-1)
+        a = 0.25 * (xy*xy + yy*yy)
+        b = 0.25 * (xx*xx + yx*yx)
+        c = 0.125 * (xx*xy + yx*yy)
+        AA(i,j) = -b
+        DD(i,j) = b + b + a * 2.0
+        pxx = X(i+1,j) - 2.0*X(i,j) + X(i-1,j)
+        qxx = Y(i+1,j) - 2.0*Y(i,j) + Y(i-1,j)
+        pyy = X(i,j+1) - 2.0*X(i,j) + X(i,j-1)
+        qyy = Y(i,j+1) - 2.0*Y(i,j) + Y(i,j-1)
+        pxy = X(i+1,j+1) - X(i+1,j-1) - X(i-1,j+1) + X(i-1,j-1)
+        qxy = Y(i+1,j+1) - Y(i+1,j-1) - Y(i-1,j+1) + Y(i-1,j-1)
+        RX(i,j) = a*pxx + b*pyy - c*pxy
+        RY(i,j) = a*qxx + b*qyy - c*qxy
+      END DO
+    END DO
+    rxm = 0.0
+    rym = 0.0
+    DO j = 2, n - 1
+      DO i = 2, n - 1
+        rxm = MAX(rxm, ABS(RX(i,j)))
+        rym = MAX(rym, ABS(RY(i,j)))
+      END DO
+    END DO
+    DO j = 2, n - 1
+      D(2,j) = 1.0 / DD(2,j)
+      DO i = 3, n - 1
+        xm = AA(i,j) * D(i-1,j)
+        D(i,j) = 1.0 / (DD(i,j) - AA(i,j) * xm)
+        RX(i,j) = RX(i,j) - RX(i-1,j) * xm
+        RY(i,j) = RY(i,j) - RY(i-1,j) * xm
+      END DO
+    END DO
+    DO j = 2, n - 1
+      RX(n-1,j) = RX(n-1,j) * D(n-1,j)
+      RY(n-1,j) = RY(n-1,j) * D(n-1,j)
+      DO i = n - 2, 2, -1
+        RX(i,j) = (RX(i,j) - AA(i+1,j) * RX(i+1,j)) * D(i,j)
+        RY(i,j) = (RY(i,j) - AA(i+1,j) * RY(i+1,j)) * D(i,j)
+      END DO
+    END DO
+    DO j = 2, n - 1
+      DO i = 2, n - 1
+        X(i,j) = X(i,j) + RX(i,j)
+        Y(i,j) = Y(i,j) + RY(i,j)
+      END DO
+    END DO
+  END DO
+END PROGRAM
+"""
+
+
+def tomcatv_source(n: int = 513, niter: int = 5, procs: int = 16) -> str:
+    """Mini-HPF TOMCATV source for the given problem size and grid."""
+    return TOMCATV_TEMPLATE.format(n=n, niter=niter, procs=procs)
+
+
+def tomcatv_inputs(n: int, seed: int = 7):
+    """Deterministic coordinate-mesh initial data."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    base_x = np.linspace(0.0, 1.0, n)
+    base_y = np.linspace(0.0, 1.0, n)
+    x = np.add.outer(base_x, 0.1 * base_y) + 0.01 * rng.standard_normal((n, n))
+    y = np.add.outer(0.1 * base_x, base_y) + 0.01 * rng.standard_normal((n, n))
+    # DD is divided by before it is first written only in pathological
+    # schedules; initialize away from zero for safety.
+    dd = np.ones((n, n))
+    return {"X": x, "Y": y, "DD": dd}

@@ -1,0 +1,22 @@
+"""Regeneration of the paper's evaluation tables (analytic and
+simulator-backed)."""
+
+from .tables import (
+    Table,
+    all_tables,
+    table1_tomcatv,
+    table1_tomcatv_simulated,
+    table2_dgefa,
+    table3_appsp,
+    table3_appsp_simulated,
+)
+
+__all__ = [
+    "Table",
+    "all_tables",
+    "table1_tomcatv",
+    "table1_tomcatv_simulated",
+    "table2_dgefa",
+    "table3_appsp",
+    "table3_appsp_simulated",
+]

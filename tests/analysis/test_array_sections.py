@@ -1,0 +1,233 @@
+"""Automatic array privatization (the paper's stated future work):
+section analysis and coverage inference."""
+
+import pytest
+
+from repro.analysis import (
+    auto_privatizable,
+    auto_privatizable_arrays,
+    build_ssa,
+    compute_liveness,
+    ref_section,
+)
+from repro.ir import ArrayElemRef, build_cfg, parse_and_build
+
+
+def analyzed(body, decls="  REAL W(12, 12), R(12, 12), V(12)\n"):
+    proc = parse_and_build(f"PROGRAM T\n{decls}{body}\nEND PROGRAM\n")
+    cfg = build_cfg(proc)
+    return proc, cfg, compute_liveness(cfg)
+
+
+def first_loop(proc):
+    return next(proc.loops())
+
+
+class TestSections:
+    def test_section_over_inner_loop(self):
+        proc, cfg, liv = analyzed(
+            "  DO k = 1, 10\n    DO i = 2, 11\n      W(i, 1) = R(i, k)\n"
+            "    END DO\n  END DO"
+        )
+        loop = first_loop(proc)
+        write = next(
+            r
+            for s in proc.assignments()
+            for r in s.defs()
+            if isinstance(r, ArrayElemRef) and r.symbol.name == "W"
+        )
+        section = ref_section(proc, write, loop)
+        assert section[0].lo.const == 2 and section[0].hi.const == 11
+        assert section[1].lo.const == 1 and section[1].hi.const == 1
+
+    def test_symbolic_outer_bound(self):
+        proc, cfg, liv = analyzed(
+            "  DO k = 1, 10\n    DO i = k, 11\n      W(i, 1) = 0.0\n"
+            "    END DO\n  END DO"
+        )
+        loop = first_loop(proc)
+        write = next(
+            r
+            for s in proc.assignments()
+            for r in s.defs()
+            if isinstance(r, ArrayElemRef)
+        )
+        section = ref_section(proc, write, loop)
+        # lower bound stays symbolic in k
+        assert section[0].lo.coeff(loop.var) == 1
+
+    def test_containment_decision(self):
+        proc, cfg, liv = analyzed(
+            "  DO k = 1, 10\n"
+            "    DO i = 1, 12\n      W(i, 1) = R(i, k)\n    END DO\n"
+            "    DO i = 2, 11\n      R(i, k) = W(i, 1)\n    END DO\n"
+            "  END DO"
+        )
+        loop = first_loop(proc)
+        refs = {}
+        for s in proc.assignments():
+            for r in list(s.defs()) + list(s.uses()):
+                if isinstance(r, ArrayElemRef) and r.symbol.name == "W":
+                    refs.setdefault("w" if r in list(s.defs()) else "r", r)
+        w_sec = ref_section(proc, refs["w"], loop)
+        r_sec = ref_section(proc, refs["r"], loop)
+        assert all(a.contains(b) for a, b in zip(w_sec, r_sec))
+        assert not all(b.contains(a) for a, b in zip(w_sec, r_sec))
+
+
+class TestAutoPrivatizable:
+    def test_covered_work_array(self):
+        proc, cfg, liv = analyzed(
+            "  DO k = 1, 10\n"
+            "    DO i = 1, 12\n      W(i, 1) = R(i, k)\n    END DO\n"
+            "    DO i = 2, 11\n      R(i, k) = W(i, 1) + W(i - 1, 1)\n    END DO\n"
+            "  END DO"
+        )
+        loop = first_loop(proc)
+        w = proc.symbols.require("W")
+        assert auto_privatizable(proc, cfg, liv, w, loop)
+
+    def test_uncovered_read_rejected(self):
+        proc, cfg, liv = analyzed(
+            "  DO k = 1, 10\n"
+            "    DO i = 1, 6\n      W(i, 1) = R(i, k)\n    END DO\n"
+            "    DO i = 2, 11\n      R(i, k) = W(i, 1)\n    END DO\n"
+            "  END DO"
+        )
+        loop = first_loop(proc)
+        w = proc.symbols.require("W")
+        # writes cover rows 1..6 but rows up to 11 are read
+        assert not auto_privatizable(proc, cfg, liv, w, loop)
+
+    def test_read_outside_loop_rejected(self):
+        proc, cfg, liv = analyzed(
+            "  DO k = 1, 10\n"
+            "    DO i = 1, 12\n      W(i, 1) = R(i, k)\n    END DO\n"
+            "    DO i = 2, 11\n      R(i, k) = W(i, 1)\n    END DO\n"
+            "  END DO\n"
+            "  V(1) = W(3, 1)"
+        )
+        loop = first_loop(proc)
+        w = proc.symbols.require("W")
+        assert not auto_privatizable(proc, cfg, liv, w, loop)
+
+    def test_conditional_write_rejected(self):
+        proc, cfg, liv = analyzed(
+            "  DO k = 1, 10\n"
+            "    DO i = 1, 12\n"
+            "      IF (R(i, k) > 0.0) THEN\n        W(i, 1) = R(i, k)\n"
+            "      END IF\n    END DO\n"
+            "    DO i = 2, 11\n      R(i, k) = W(i, 1)\n    END DO\n"
+            "  END DO"
+        )
+        loop = first_loop(proc)
+        w = proc.symbols.require("W")
+        assert not auto_privatizable(proc, cfg, liv, w, loop)
+
+    def test_read_before_write_rejected(self):
+        proc, cfg, liv = analyzed(
+            "  DO k = 1, 10\n"
+            "    DO i = 2, 11\n      R(i, k) = W(i, 1)\n    END DO\n"
+            "    DO i = 1, 12\n      W(i, 1) = R(i, k)\n    END DO\n"
+            "  END DO"
+        )
+        loop = first_loop(proc)
+        w = proc.symbols.require("W")
+        assert not auto_privatizable(proc, cfg, liv, w, loop)
+
+    def test_same_nest_identical_subscripts_covered(self):
+        proc, cfg, liv = analyzed(
+            "  DO k = 1, 10\n"
+            "    DO i = 1, 12\n"
+            "      W(i, 1) = R(i, k)\n"
+            "      R(i, k) = W(i, 1) * 2.0\n"
+            "    END DO\n  END DO"
+        )
+        loop = first_loop(proc)
+        w = proc.symbols.require("W")
+        assert auto_privatizable(proc, cfg, liv, w, loop)
+
+    def test_same_nest_shifted_subscripts_rejected(self):
+        proc, cfg, liv = analyzed(
+            "  DO k = 1, 10\n"
+            "    DO i = 2, 11\n"
+            "      W(i, 1) = R(i, k)\n"
+            "      R(i, k) = W(i - 1, 1)\n"
+            "    END DO\n  END DO"
+        )
+        loop = first_loop(proc)
+        w = proc.symbols.require("W")
+        assert not auto_privatizable(proc, cfg, liv, w, loop)
+
+    def test_enumeration(self):
+        proc, cfg, liv = analyzed(
+            "  DO k = 1, 10\n"
+            "    DO i = 1, 12\n      W(i, 1) = R(i, k)\n    END DO\n"
+            "    DO i = 2, 11\n      R(i, k) = W(i, 1)\n    END DO\n"
+            "  END DO"
+        )
+        loop = first_loop(proc)
+        names = [s.name for s in auto_privatizable_arrays(proc, cfg, liv, loop)]
+        assert names == ["W"]
+
+
+class TestCompilerIntegration:
+    def test_appsp_without_new_clause(self):
+        from repro.core import CompilerOptions, compile_source
+        from repro.programs import appsp_source
+
+        src = appsp_source(
+            nx=16, ny=16, nz=16, niter=1, procs=4,
+            distribution="2d", use_new_clause=False,
+        )
+        baseline = compile_source(src, CompilerOptions())
+        assert not baseline.array_result.privatizations
+
+        auto = compile_source(src, CompilerOptions(auto_privatize_arrays=True))
+        privs = auto.array_result.privatizations
+        assert len(privs) == 1
+        assert privs[0].array.name == "C"
+        assert privs[0].is_partial
+
+    def test_auto_matches_new_clause_decision(self):
+        from repro.core import CompilerOptions, compile_source
+        from repro.programs import appsp_source
+
+        with_new = compile_source(
+            appsp_source(nx=16, ny=16, nz=16, niter=1, procs=4, distribution="1d"),
+            CompilerOptions(),
+        )
+        inferred = compile_source(
+            appsp_source(
+                nx=16, ny=16, nz=16, niter=1, procs=4,
+                distribution="1d", use_new_clause=False,
+            ),
+            CompilerOptions(auto_privatize_arrays=True),
+        )
+        a = with_new.array_result.privatizations[0]
+        b = inferred.array_result.privatizations[0]
+        assert a.array.name == b.array.name == "C"
+        assert a.privatized_grid_dims == b.privatized_grid_dims
+        assert a.partitioned_dims == b.partitioned_dims
+
+    def test_auto_semantics(self):
+        import numpy as np
+
+        from repro.codegen import run_sequential
+        from repro.core import CompilerOptions, compile_source
+        from repro.ir import parse_and_build
+        from repro.machine import simulate
+        from repro.programs import appsp_inputs, appsp_source
+
+        src = appsp_source(
+            nx=6, ny=6, nz=6, niter=2, procs=4,
+            distribution="2d", use_new_clause=False,
+        )
+        inputs = appsp_inputs(6, 6, 6)
+        seq = run_sequential(parse_and_build(src), inputs)
+        sim = simulate(
+            compile_source(src, CompilerOptions(auto_privatize_arrays=True)),
+            inputs,
+        )
+        assert np.allclose(sim.gather("RSD"), seq.get_array("RSD"))
+        assert sim.stats.unexpected_fetches == 0

@@ -1,0 +1,92 @@
+"""SSA constant propagation tests."""
+
+from repro.analysis import build_ssa, propagate_constants
+from repro.ir import ScalarRef, build_cfg, parse_and_build
+
+
+def analyzed(body, decls="  REAL A(10)\n  REAL x, y, z\n  INTEGER m, n2\n"):
+    proc = parse_and_build(f"PROGRAM T\n{decls}{body}\nEND PROGRAM\n")
+    cfg = build_cfg(proc)
+    ssa = build_ssa(cfg)
+    return proc, ssa, propagate_constants(ssa)
+
+
+def def_of(proc, ssa, name, k=0):
+    stmts = [
+        s
+        for s in proc.assignments()
+        if isinstance(s.lhs, ScalarRef) and s.lhs.symbol.name == name
+    ]
+    return ssa.def_of_assignment(stmts[k])
+
+
+class TestDirectConstants:
+    def test_literal(self):
+        proc, ssa, cp = analyzed("  x = 2.5")
+        assert cp.const_of_def(def_of(proc, ssa, "X")) == 2.5
+
+    def test_folding_arithmetic(self):
+        proc, ssa, cp = analyzed("  m = 2 + 3 * 4")
+        assert cp.const_of_def(def_of(proc, ssa, "M")) == 14
+
+    def test_propagation_chain(self):
+        proc, ssa, cp = analyzed("  x = 2.0\n  y = x * 3.0\n  z = y - 1.0")
+        assert cp.const_of_def(def_of(proc, ssa, "Z")) == 5.0
+
+    def test_intrinsic_folding(self):
+        proc, ssa, cp = analyzed("  x = MAX(2.0, 5.0)\n  y = ABS(-3.0)")
+        assert cp.const_of_def(def_of(proc, ssa, "X")) == 5.0
+        assert cp.const_of_def(def_of(proc, ssa, "Y")) == 3.0
+
+    def test_integer_division_truncates(self):
+        proc, ssa, cp = analyzed("  m = 7 / 2")
+        assert cp.const_of_def(def_of(proc, ssa, "M")) == 3
+
+    def test_division_by_zero_is_bottom(self):
+        proc, ssa, cp = analyzed("  m = 1 / 0")
+        assert cp.const_of_def(def_of(proc, ssa, "M")) is None
+
+
+class TestNonConstants:
+    def test_array_read_is_unknown(self):
+        proc, ssa, cp = analyzed("  x = A(1)")
+        assert cp.const_of_def(def_of(proc, ssa, "X")) is None
+
+    def test_loop_index_is_unknown(self):
+        proc, ssa, cp = analyzed("  DO i = 1, 3\n    m = i\n  END DO")
+        assert cp.const_of_def(def_of(proc, ssa, "M")) is None
+
+    def test_entry_value_is_unknown(self):
+        proc, ssa, cp = analyzed("  y = x + 1.0")
+        assert cp.const_of_def(def_of(proc, ssa, "Y")) is None
+
+
+class TestPhiMerging:
+    def test_same_constant_through_branches(self):
+        proc, ssa, cp = analyzed(
+            "  IF (A(1) > 0.0) THEN\n    x = 4.0\n  ELSE\n    x = 4.0\n  END IF\n"
+            "  y = x + 1.0"
+        )
+        assert cp.const_of_def(def_of(proc, ssa, "Y")) == 5.0
+
+    def test_different_constants_merge_to_bottom(self):
+        proc, ssa, cp = analyzed(
+            "  IF (A(1) > 0.0) THEN\n    x = 4.0\n  ELSE\n    x = 5.0\n  END IF\n"
+            "  y = x + 1.0"
+        )
+        assert cp.const_of_def(def_of(proc, ssa, "Y")) is None
+
+
+class TestEvalExpr:
+    def test_eval_loop_bound_with_params(self):
+        proc, ssa, cp = analyzed(
+            "  DO i = 1, n2\n    A(i) = 0.0\n  END DO",
+            decls="  PARAMETER (n2 = 6)\n  REAL A(10)\n",
+        )
+        loop = next(proc.loops())
+        assert cp.eval_expr(loop.high) == 6
+
+    def test_eval_expr_with_const_scalar(self):
+        proc, ssa, cp = analyzed("  m = 4\n  DO i = 1, m\n    A(i) = 0.0\n  END DO")
+        loop = next(proc.loops())
+        assert cp.eval_expr(loop.high) == 4

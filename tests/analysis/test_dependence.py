@@ -1,0 +1,165 @@
+"""Array dependence testing (ZIV/SIV/GCD + bounds-aware carried tests)."""
+
+from repro.analysis import (
+    array_dependences,
+    array_written_in,
+    read_may_see_loop_write,
+)
+from repro.analysis import test_dependence as dep_test
+from repro.analysis.dependence import may_depend_within_loop
+from repro.ir import ArrayElemRef, parse_and_build
+
+
+def build(body, decls="  REAL A(20), B(20), C(20, 20)\n"):
+    return parse_and_build(f"PROGRAM T\n{decls}{body}\nEND PROGRAM\n")
+
+
+def refs_of(proc, array, writes=False):
+    out = []
+    for stmt in proc.all_stmts():
+        source = stmt.defs() if writes else stmt.uses()
+        for ref in source:
+            if isinstance(ref, ArrayElemRef) and ref.symbol.name == array:
+                out.append(ref)
+    return out
+
+
+class TestBasicTests:
+    def test_ziv_equal(self):
+        proc = build("  A(3) = 1.0\n  x = A(3)")
+        w = refs_of(proc, "A", writes=True)[0]
+        r = refs_of(proc, "A")[0]
+        dep = dep_test(proc, w, r, "flow")
+        assert dep is not None and dep.loop_independent
+
+    def test_ziv_unequal(self):
+        proc = build("  A(3) = 1.0\n  x = A(4)")
+        w = refs_of(proc, "A", writes=True)[0]
+        r = refs_of(proc, "A")[0]
+        assert dep_test(proc, w, r, "flow") is None
+
+    def test_strong_siv_distance(self):
+        proc = build("  DO i = 2, 19\n    A(i) = A(i - 1)\n  END DO")
+        w = refs_of(proc, "A", writes=True)[0]
+        r = refs_of(proc, "A")[0]
+        dep = dep_test(proc, w, r, "flow")
+        assert dep is not None
+        assert dep.distances == (1,)  # sink iteration minus source
+        assert dep.loop_carried
+
+    def test_strong_siv_zero_distance(self):
+        proc = build("  DO i = 1, 19\n    A(i) = A(i) + 1.0\n  END DO")
+        w = refs_of(proc, "A", writes=True)[0]
+        r = refs_of(proc, "A")[0]
+        dep = dep_test(proc, w, r, "flow")
+        assert dep is not None and dep.loop_independent
+
+    def test_siv_non_integral_distance(self):
+        # A(2i) vs A(2i+1): never equal (GCD fails on the difference).
+        proc = build("  DO i = 1, 9\n    A(2 * i) = A(2 * i + 1)\n  END DO")
+        w = refs_of(proc, "A", writes=True)[0]
+        r = refs_of(proc, "A")[0]
+        assert dep_test(proc, w, r, "flow") is None
+
+    def test_distance_exceeding_trip_count(self):
+        proc = build("  DO i = 1, 3\n    A(i) = A(i + 10)\n  END DO")
+        w = refs_of(proc, "A", writes=True)[0]
+        r = refs_of(proc, "A")[0]
+        assert dep_test(proc, w, r, "flow") is None
+
+    def test_different_arrays_no_dep(self):
+        proc = build("  DO i = 1, 9\n    A(i) = B(i)\n  END DO")
+        w = refs_of(proc, "A", writes=True)[0]
+        r = refs_of(proc, "B")[0]
+        assert dep_test(proc, w, r, "flow") is None
+
+    def test_multidim_consistent_distances(self):
+        proc = build(
+            "  DO i = 2, 9\n    DO j = 2, 9\n      C(i, j) = C(i - 1, j - 1)\n"
+            "    END DO\n  END DO"
+        )
+        w = refs_of(proc, "C", writes=True)[0]
+        r = refs_of(proc, "C")[0]
+        dep = dep_test(proc, w, r, "flow")
+        assert dep is not None and dep.distances == (1, 1)
+
+    def test_multidim_inconsistent_distances(self):
+        # C(i,i) vs C(i-1, i-2): distances 1 and 2 conflict -> no dep.
+        proc = build(
+            "  DO i = 3, 9\n    C(i, i) = C(i - 1, i - 2)\n  END DO"
+        )
+        w = refs_of(proc, "C", writes=True)[0]
+        r = refs_of(proc, "C")[0]
+        assert dep_test(proc, w, r, "flow") is None
+
+    def test_non_affine_subscript_conservative(self):
+        proc = build(
+            "  DO i = 1, 4\n    A(i * i) = A(i) + 1.0\n  END DO",
+        )
+        w = refs_of(proc, "A", writes=True)[0]
+        r = refs_of(proc, "A")[0]
+        assert dep_test(proc, w, r, "flow") is not None
+
+
+class TestLoopQueries:
+    def test_array_written_in(self):
+        proc = build("  DO i = 1, 9\n    A(i) = B(i)\n  END DO")
+        loop = next(proc.loops())
+        assert array_written_in(proc, proc.symbols.require("A"), loop)
+        assert not array_written_in(proc, proc.symbols.require("B"), loop)
+
+    def test_read_sees_write_same_loop(self):
+        proc = build("  DO i = 2, 9\n    A(i) = A(i - 1)\n  END DO")
+        loop = next(proc.loops())
+        r = refs_of(proc, "A")[0]
+        assert read_may_see_loop_write(proc, r, loop)
+
+    def test_read_does_not_see_unrelated_write(self):
+        proc = build("  DO i = 1, 9\n    A(i) = B(i)\n  END DO")
+        loop = next(proc.loops())
+        r = refs_of(proc, "B")[0]
+        assert not read_may_see_loop_write(proc, r, loop)
+
+    def test_dgefa_pattern_hoistable_from_inner(self):
+        """The elimination update writes columns j > k; the pivot-column
+        read A(i,k) must be hoistable out of the j loop but not the k
+        loop."""
+        proc = build(
+            "  DO k = 1, 18\n    DO j = k + 1, 19\n      DO i = k + 1, 19\n"
+            "        C(i, j) = C(i, j) + C(i, k)\n      END DO\n    END DO\n  END DO",
+        )
+        loops = {l.var.name: l for l in proc.loops()}
+        pivot_read = [
+            r for r in refs_of(proc, "C") if "K" in str(r.subscripts[1])
+        ][0]
+        assert not read_may_see_loop_write(proc, pivot_read, loops["J"])
+        assert read_may_see_loop_write(proc, pivot_read, loops["K"])
+
+    def test_may_depend_within_loop_direct(self):
+        proc = build(
+            "  DO k = 1, 18\n    DO j = k + 1, 19\n      C(k, j) = C(k, k)\n"
+            "    END DO\n  END DO",
+        )
+        loops = {l.var.name: l for l in proc.loops()}
+        w = refs_of(proc, "C", writes=True)[0]
+        r = refs_of(proc, "C")[0]
+        # Within one k iteration, C(k,j) writes j>k, C(k,k) read is safe.
+        assert not may_depend_within_loop(proc, w, r, loops["J"])
+        # Across k iterations, an earlier write C(k1, j=k2) can feed the
+        # later read C(k2, k2).
+        assert may_depend_within_loop(proc, w, r, loops["K"])
+
+
+class TestWholeProcedure:
+    def test_array_dependences_enumeration(self):
+        proc = build("  DO i = 2, 9\n    A(i) = A(i - 1)\n  END DO")
+        deps = array_dependences(proc)
+        assert any(d.kind == "flow" and d.loop_carried for d in deps)
+
+    def test_privatizable_pattern_has_output_dep(self):
+        # C(i,1) written every outer iteration: output dependence.
+        proc = build(
+            "  DO k = 1, 9\n    DO i = 1, 9\n      A(i) = 1.0\n    END DO\n  END DO",
+        )
+        deps = array_dependences(proc)
+        assert any(d.kind == "output" for d in deps)

@@ -1,0 +1,94 @@
+"""Dominator tree and dominance frontier tests."""
+
+from repro.analysis import compute_dominance
+from repro.ir import build_cfg, parse_and_build
+
+
+def analyzed(body, decls="  REAL A(10), B(10)\n"):
+    proc = parse_and_build(f"PROGRAM T\n{decls}{body}\nEND PROGRAM\n")
+    cfg = build_cfg(proc)
+    return proc, cfg, compute_dominance(cfg)
+
+
+class TestStraightLine:
+    def test_entry_dominates_all(self):
+        proc, cfg, dom = analyzed("  A(1) = 0.0\n  A(2) = 1.0")
+        for node in cfg.reverse_postorder():
+            assert dom.dominates(cfg.entry, node)
+
+    def test_chain_idoms(self):
+        proc, cfg, dom = analyzed("  A(1) = 0.0\n  A(2) = 1.0")
+        n0 = cfg.node_of(proc.body[0])
+        n1 = cfg.node_of(proc.body[1])
+        assert dom.idom[n1.index] is n0
+
+    def test_strict_dominance_irreflexive(self):
+        proc, cfg, dom = analyzed("  A(1) = 0.0")
+        node = cfg.node_of(proc.body[0])
+        assert not dom.strictly_dominates(node, node)
+        assert dom.dominates(node, node)
+
+
+class TestBranches:
+    def test_join_not_dominated_by_branches(self):
+        proc, cfg, dom = analyzed(
+            "  IF (A(1) > 0.0) THEN\n    A(1) = 1.0\n  ELSE\n    A(2) = 2.0\n"
+            "  END IF\n  A(3) = 3.0"
+        )
+        if_stmt = proc.body[0]
+        join = cfg.node_of(proc.body[1])
+        then_node = cfg.node_of(if_stmt.then_body[0])
+        else_node = cfg.node_of(if_stmt.else_body[0])
+        assert not dom.dominates(then_node, join)
+        assert not dom.dominates(else_node, join)
+        assert dom.dominates(cfg.node_of(if_stmt), join)
+
+    def test_branch_frontier_is_join(self):
+        proc, cfg, dom = analyzed(
+            "  IF (A(1) > 0.0) THEN\n    A(1) = 1.0\n  ELSE\n    A(2) = 2.0\n"
+            "  END IF\n  A(3) = 3.0"
+        )
+        if_stmt = proc.body[0]
+        join = cfg.node_of(proc.body[1])
+        then_node = cfg.node_of(if_stmt.then_body[0])
+        assert join.index in dom.frontier[then_node.index]
+
+
+class TestLoops:
+    def test_header_dominates_body(self):
+        proc, cfg, dom = analyzed("  DO i = 1, 3\n    A(i) = 0.0\n  END DO")
+        loop = proc.body[0]
+        assert dom.dominates(cfg.node_of(loop), cfg.node_of(loop.body[0]))
+
+    def test_header_in_own_frontier(self):
+        # The back edge puts the header in its body's (and transitively
+        # its own) dominance frontier — that's where loop phis go.
+        proc, cfg, dom = analyzed("  DO i = 1, 3\n    A(i) = 0.0\n  END DO")
+        loop = proc.body[0]
+        header = cfg.node_of(loop)
+        body_node = cfg.node_of(loop.body[0])
+        assert header.index in dom.frontier[body_node.index]
+
+    def test_iterated_frontier(self):
+        proc, cfg, dom = analyzed(
+            "  DO i = 1, 3\n    A(i) = 0.0\n  END DO\n  A(1) = 9.0"
+        )
+        loop = proc.body[0]
+        body_node = cfg.node_of(loop.body[0])
+        idf = dom.iterated_frontier([body_node])
+        assert cfg.node_of(loop).index in idf
+
+    def test_dominator_tree_children_cover_reachable(self):
+        proc, cfg, dom = analyzed(
+            "  DO i = 1, 3\n    IF (A(i) > 0.0) THEN\n      A(i) = 1.0\n"
+            "    END IF\n  END DO"
+        )
+        seen = set()
+
+        def walk(node):
+            seen.add(node.index)
+            for child in dom.children[node.index]:
+                walk(child)
+
+        walk(cfg.entry)
+        assert seen == cfg.reachable()

@@ -1,0 +1,130 @@
+"""Induction-variable recognition and closed-form substitution tests."""
+
+from repro.analysis import (
+    build_ssa,
+    compute_dominance,
+    find_induction_vars,
+    propagate_constants,
+    substitute_induction_vars,
+)
+from repro.ir import ScalarRef, affine_form, build_cfg, parse_and_build
+
+
+def analyzed(body, decls="  REAL A(20), D(20)\n  INTEGER m, m2\n"):
+    proc = parse_and_build(f"PROGRAM T\n{decls}{body}\nEND PROGRAM\n")
+    cfg = build_cfg(proc)
+    ssa = build_ssa(cfg)
+    cp = propagate_constants(ssa)
+    return proc, cfg, ssa, cp
+
+
+class TestRecognition:
+    def test_figure1_induction(self):
+        proc, cfg, ssa, cp = analyzed(
+            "  m = 2\n  DO i = 2, 9\n    m = m + 1\n    D(m) = 1.0\n  END DO"
+        )
+        ivs = find_induction_vars(proc, ssa, cp)
+        assert len(ivs) == 1
+        iv = ivs[0]
+        assert iv.symbol.name == "M"
+        assert iv.init_value == 2 and iv.stride == 1
+        form = affine_form(iv.closed_form)
+        # m after the update at index i: i + 1
+        assert form.coeff(iv.loop.var) == 1 and form.const == 1
+
+    def test_negative_stride(self):
+        proc, cfg, ssa, cp = analyzed(
+            "  m = 10\n  DO i = 1, 5\n    m = m - 2\n    D(i) = m\n  END DO"
+        )
+        ivs = find_induction_vars(proc, ssa, cp)
+        assert len(ivs) == 1
+        assert ivs[0].stride == -2
+
+    def test_non_constant_init_rejected(self):
+        proc, cfg, ssa, cp = analyzed(
+            "  m = m2\n  DO i = 1, 5\n    m = m + 1\n    D(m) = 1.0\n  END DO"
+        )
+        assert find_induction_vars(proc, ssa, cp) == []
+
+    def test_conditional_update_rejected(self):
+        proc, cfg, ssa, cp = analyzed(
+            "  m = 0\n  DO i = 1, 5\n    IF (A(i) > 0.0) THEN\n      m = m + 1\n"
+            "    END IF\n    D(i) = m\n  END DO"
+        )
+        assert find_induction_vars(proc, ssa, cp) == []
+
+    def test_multiple_defs_rejected(self):
+        proc, cfg, ssa, cp = analyzed(
+            "  m = 0\n  DO i = 1, 5\n    m = m + 1\n    m = m + 2\n    D(i) = m\n"
+            "  END DO"
+        )
+        assert find_induction_vars(proc, ssa, cp) == []
+
+    def test_non_unit_coefficient_rejected(self):
+        proc, cfg, ssa, cp = analyzed(
+            "  m = 1\n  DO i = 1, 5\n    m = 2 * m\n    D(i) = m\n  END DO"
+        )
+        assert find_induction_vars(proc, ssa, cp) == []
+
+    def test_loop_var_itself_not_reported(self):
+        proc, cfg, ssa, cp = analyzed("  DO i = 1, 5\n    D(i) = 1.0\n  END DO")
+        assert find_induction_vars(proc, ssa, cp) == []
+
+    def test_strided_loop(self):
+        proc, cfg, ssa, cp = analyzed(
+            "  m = 0\n  DO i = 1, 9, 2\n    m = m + 1\n    D(m) = 1.0\n  END DO"
+        )
+        ivs = find_induction_vars(proc, ssa, cp)
+        assert len(ivs) == 1
+        # closed form: 0 + 1*((i - 1 + 2)/2) == (i+1)/2
+
+
+class TestSubstitution:
+    def test_update_rhs_rewritten(self):
+        proc, cfg, ssa, cp = analyzed(
+            "  m = 2\n  DO i = 2, 9\n    m = m + 1\n    D(m) = 1.0\n  END DO"
+        )
+        ivs = find_induction_vars(proc, ssa, cp)
+        dom = compute_dominance(cfg)
+        substitute_induction_vars(proc, ivs, cfg=cfg, ssa=ssa, dom=dom)
+        update = ivs[0].update_stmt
+        # rhs no longer references m
+        assert all(r.symbol.name != "M" for r in update.rhs.refs())
+
+    def test_dominated_uses_substituted(self):
+        proc, cfg, ssa, cp = analyzed(
+            "  m = 2\n  DO i = 2, 9\n    m = m + 1\n    D(m) = 1.0\n  END DO"
+        )
+        ivs = find_induction_vars(proc, ssa, cp)
+        dom = compute_dominance(cfg)
+        substitute_induction_vars(proc, ivs, cfg=cfg, ssa=ssa, dom=dom)
+        d_stmt = [s for s in proc.assignments() if not isinstance(s.lhs, ScalarRef)][0]
+        form = affine_form(d_stmt.lhs.subscripts[0])
+        assert form is not None
+        assert form.const == 1  # D(i + 1)
+
+    def test_semantics_preserved(self):
+        """Executing before and after substitution gives identical D."""
+        import numpy as np
+
+        from repro.codegen import run_sequential
+
+        src = (
+            "PROGRAM T\n  REAL A(20), D(20)\n  INTEGER m\n"
+            "  m = 2\n  DO i = 2, 9\n    m = m + 1\n    D(m) = A(i)\n  END DO\n"
+            "END PROGRAM\n"
+        )
+        inputs = {"A": np.arange(20, dtype=float)}
+        before = run_sequential(parse_and_build(src), inputs).get_array("D")
+
+        proc = parse_and_build(src)
+        cfg = build_cfg(proc)
+        ssa = build_ssa(cfg)
+        cp = propagate_constants(ssa)
+        ivs = find_induction_vars(proc, ssa, cp)
+        assert ivs
+        substitute_induction_vars(
+            proc, ivs, cfg=cfg, ssa=ssa, dom=compute_dominance(cfg)
+        )
+        after = run_sequential(proc, inputs).get_array("D")
+        assert np.array_equal(before, after)

@@ -1,0 +1,154 @@
+"""Privatizability analysis tests (paper Fig. 3's IsPrivatizable)."""
+
+from repro.analysis import (
+    PrivatizabilityInfo,
+    build_ssa,
+    compute_liveness,
+)
+from repro.ir import ScalarRef, build_cfg, parse_and_build
+
+
+def analyzed(body, decls="  REAL A(10), B(10), C(10, 10)\n  REAL x, y\n"):
+    proc = parse_and_build(f"PROGRAM T\n{decls}{body}\nEND PROGRAM\n")
+    cfg = build_cfg(proc)
+    liv = compute_liveness(cfg)
+    ssa = build_ssa(cfg)
+    return proc, ssa, PrivatizabilityInfo(proc, cfg, ssa, liv)
+
+
+def def_of(proc, ssa, name, k=0):
+    stmts = [
+        s
+        for s in proc.assignments()
+        if isinstance(s.lhs, ScalarRef) and s.lhs.symbol.name == name
+    ]
+    return ssa.def_of_assignment(stmts[k])
+
+
+class TestScalars:
+    def test_local_temp_privatizable(self):
+        proc, ssa, priv = analyzed(
+            "  DO i = 1, 9\n    x = B(i)\n    A(i) = x\n  END DO"
+        )
+        assert priv.is_privatizable(def_of(proc, ssa, "X"))
+
+    def test_live_out_not_privatizable(self):
+        proc, ssa, priv = analyzed(
+            "  DO i = 1, 9\n    x = B(i)\n    A(i) = x\n  END DO\n  y = x"
+        )
+        assert not priv.is_privatizable(def_of(proc, ssa, "X"))
+
+    def test_loop_carried_not_privatizable(self):
+        proc, ssa, priv = analyzed(
+            "  x = 0.0\n  DO i = 1, 9\n    A(i) = x\n    x = B(i)\n  END DO"
+        )
+        assert not priv.is_privatizable(def_of(proc, ssa, "X", k=1))
+
+    def test_outside_loop_not_privatizable(self):
+        proc, ssa, priv = analyzed("  x = 1.0\n  y = x")
+        assert not priv.is_privatizable(def_of(proc, ssa, "X"))
+
+    def test_new_clause_asserts(self):
+        src = (
+            "PROGRAM T\n  REAL A(10), B(10)\n  REAL x, y\n"
+            "!HPF$ INDEPENDENT, NEW(X)\n"
+            "  DO i = 1, 9\n    A(i) = x\n    x = B(i)\n  END DO\nEND PROGRAM\n"
+        )
+        proc = parse_and_build(src)
+        cfg = build_cfg(proc)
+        priv = PrivatizabilityInfo(
+            proc, cfg, build_ssa(cfg), compute_liveness(cfg)
+        )
+        stmts = [
+            s for s in proc.assignments() if isinstance(s.lhs, ScalarRef)
+        ]
+        ssa = priv.ssa
+        d = ssa.def_of_assignment(stmts[0])
+        assert priv.is_privatizable(d)
+
+    def test_privatization_level_outermost(self):
+        proc, ssa, priv = analyzed(
+            "  DO i = 1, 9\n    DO j = 1, 9\n      x = B(j)\n      C(i, j) = x\n"
+            "    END DO\n  END DO"
+        )
+        d = def_of(proc, ssa, "X")
+        # x is privatizable w.r.t. both loops: level 1 (outermost)
+        assert priv.privatization_level(d) == 1
+
+    def test_value_escaping_inner_loop_is_conservative(self):
+        proc, ssa, priv = analyzed(
+            "  DO i = 1, 9\n    DO j = 1, 9\n      x = B(j)\n      C(i, j) = x\n"
+            "    END DO\n    A(i) = x\n  END DO"
+        )
+        d = def_of(proc, ssa, "X")
+        # x escapes the j loop (used at A(i)); if the j loop zero-trips,
+        # A(i) observes the previous i iteration's value, so the
+        # analysis must conservatively refuse privatization at both
+        # levels (phpf reasons identically without trip-count proofs).
+        assert priv.privatization_level(d) is None
+        assert not priv.is_privatizable(d, proc.body[0])
+        inner = proc.body[0].body[0]
+        assert not priv.is_privatizable(d, inner)
+
+    def test_deepest_level_prefers_innermost(self):
+        proc, ssa, priv = analyzed(
+            "  DO i = 1, 9\n    DO j = 1, 9\n      x = B(j)\n      C(i, j) = x\n"
+            "    END DO\n  END DO"
+        )
+        d = def_of(proc, ssa, "X")
+        assert priv.deepest_privatization_level(d) == 2
+        assert priv.privatization_level(d) == 1
+
+
+class TestArrays:
+    FIG6ISH = (
+        "PROGRAM T\n  REAL W(10, 10), R(10, 10)\n"
+        "!HPF$ INDEPENDENT, NEW(W)\n"
+        "  DO k = 1, 9\n    DO i = 1, 9\n      W(i, 1) = R(i, k)\n    END DO\n"
+        "    DO i = 1, 9\n      R(i, k) = W(i, 1)\n    END DO\n  END DO\n"
+        "END PROGRAM\n"
+    )
+
+    def _analyzed(self, src):
+        proc = parse_and_build(src)
+        cfg = build_cfg(proc)
+        return proc, PrivatizabilityInfo(
+            proc, cfg, build_ssa(cfg), compute_liveness(cfg)
+        )
+
+    def test_new_clause_array(self):
+        proc, priv = self._analyzed(self.FIG6ISH)
+        loop = next(proc.loops())
+        w = proc.symbols.require("W")
+        assert priv.array_privatizable_in(w, loop)
+
+    def test_array_without_clause(self):
+        proc, priv = self._analyzed(self.FIG6ISH)
+        loop = next(proc.loops())
+        r = proc.symbols.require("R")
+        assert not priv.array_privatizable_in(r, loop)
+
+    def test_array_new_loops(self):
+        proc, priv = self._analyzed(self.FIG6ISH)
+        w = proc.symbols.require("W")
+        assert len(priv.array_new_loops(w)) == 1
+
+    def test_needs_privatization(self):
+        proc, priv = self._analyzed(self.FIG6ISH)
+        loop = next(proc.loops())
+        w = proc.symbols.require("W")
+        # W(i, 1): subscripts invariant/inner w.r.t. the k loop ->
+        # memory-based loop-carried dependences.
+        assert priv.array_needs_privatization(w, loop)
+
+    def test_no_need_when_indexed_by_loop(self):
+        src = (
+            "PROGRAM T\n  REAL W(10, 10), R(10, 10)\n"
+            "!HPF$ INDEPENDENT, NEW(W)\n"
+            "  DO k = 1, 9\n    DO i = 1, 9\n      W(i, k) = R(i, k)\n"
+            "    END DO\n  END DO\nEND PROGRAM\n"
+        )
+        proc, priv = self._analyzed(src)
+        loop = next(proc.loops())
+        w = proc.symbols.require("W")
+        assert not priv.array_needs_privatization(w, loop)

@@ -1,0 +1,141 @@
+"""Pruned SSA construction and use–def chain tests."""
+
+from repro.analysis import build_ssa
+from repro.ir import AssignStmt, ScalarRef, build_cfg, parse_and_build
+
+
+def analyzed(body, decls="  REAL A(10), B(10)\n  REAL x, y\n  INTEGER m\n"):
+    proc = parse_and_build(f"PROGRAM T\n{decls}{body}\nEND PROGRAM\n")
+    cfg = build_cfg(proc)
+    return proc, cfg, build_ssa(cfg)
+
+
+def scalar_assigns(proc, name):
+    return [
+        s
+        for s in proc.assignments()
+        if isinstance(s.lhs, ScalarRef) and s.lhs.symbol.name == name
+    ]
+
+
+class TestBasics:
+    def test_every_real_def_registered(self):
+        proc, cfg, ssa = analyzed("  x = 1.0\n  y = x + 1.0")
+        assert len(list(ssa.real_defs("X"))) == 1
+        assert len(list(ssa.real_defs("Y"))) == 1
+
+    def test_use_sees_nearest_def(self):
+        proc, cfg, ssa = analyzed("  x = 1.0\n  x = 2.0\n  y = x")
+        use = next(
+            r for r in scalar_assigns(proc, "Y")[0].rhs.refs()
+        )
+        reaching = ssa.reaching_real_defs(use)
+        assert len(reaching) == 1
+        d = reaching.pop()
+        assert d.stmt is scalar_assigns(proc, "X")[1]
+
+    def test_reached_uses(self):
+        proc, cfg, ssa = analyzed("  x = 1.0\n  y = x + x")
+        d = ssa.def_of_assignment(scalar_assigns(proc, "X")[0])
+        uses = ssa.reached_uses(d)
+        assert len(uses) == 2
+
+    def test_is_unique_def_simple(self):
+        proc, cfg, ssa = analyzed("  x = 1.0\n  y = x")
+        d = ssa.def_of_assignment(scalar_assigns(proc, "X")[0])
+        assert ssa.is_unique_def(d)
+
+
+class TestBranching:
+    SRC = (
+        "  IF (A(1) > 0.0) THEN\n    x = 1.0\n  ELSE\n    x = 2.0\n  END IF\n"
+        "  y = x"
+    )
+
+    def test_phi_at_join(self):
+        proc, cfg, ssa = analyzed(self.SRC)
+        use = next(scalar_assigns(proc, "Y")[0].rhs.refs())
+        seen = ssa.defs[ssa.use_def[use.ref_id]]
+        assert seen.kind == "phi"
+
+    def test_reaching_defs_through_phi(self):
+        proc, cfg, ssa = analyzed(self.SRC)
+        use = next(scalar_assigns(proc, "Y")[0].rhs.refs())
+        reaching = ssa.reaching_real_defs(use)
+        assert {d.stmt for d in reaching} == set(scalar_assigns(proc, "X"))
+
+    def test_not_unique_def(self):
+        proc, cfg, ssa = analyzed(self.SRC)
+        for stmt in scalar_assigns(proc, "X"):
+            assert not ssa.is_unique_def(ssa.def_of_assignment(stmt))
+
+
+class TestLoops:
+    def test_loop_carried_use_sees_phi(self):
+        proc, cfg, ssa = analyzed(
+            "  m = 0\n  DO i = 1, 3\n    m = m + 1\n  END DO",
+        )
+        update = scalar_assigns(proc, "M")[1]
+        use = next(
+            r for r in update.rhs.refs() if isinstance(r, ScalarRef)
+        )
+        seen = ssa.defs[ssa.use_def[use.ref_id]]
+        assert seen.kind == "phi"
+        reaching = {d.stmt for d in ssa.reaching_real_defs(use)}
+        assert reaching == set(scalar_assigns(proc, "M"))
+
+    def test_pruned_no_phi_for_local_temp(self):
+        # x is defined and used within one iteration and dead outside:
+        # pruned SSA must NOT create a loop-header phi for it.
+        proc, cfg, ssa = analyzed(
+            "  DO i = 2, 9\n    x = B(i)\n    A(i) = x\n  END DO",
+        )
+        header = cfg.node_of(proc.body[0])
+        phi_syms = {ssa.defs[d].symbol.name for d in ssa.phis_at.get(header.index, [])}
+        assert "X" not in phi_syms
+
+    def test_flows_through_phi_at_header(self):
+        proc, cfg, ssa = analyzed(
+            "  m = 0\n  DO i = 1, 3\n    m = m + 1\n  END DO\n  x = m",
+        )
+        update = scalar_assigns(proc, "M")[1]
+        d = ssa.def_of_assignment(update)
+        header = cfg.node_of(proc.body[1])
+        assert ssa.flows_through_phi_at(d, header)
+
+    def test_local_temp_does_not_flow_through_header(self):
+        proc, cfg, ssa = analyzed(
+            "  DO i = 2, 9\n    x = B(i)\n    A(i) = x\n  END DO",
+        )
+        d = ssa.def_of_assignment(scalar_assigns(proc, "X")[0])
+        header = cfg.node_of(proc.body[0])
+        assert not ssa.flows_through_phi_at(d, header)
+
+    def test_loop_index_def_kind(self):
+        proc, cfg, ssa = analyzed("  DO i = 1, 3\n    A(i) = 0.0\n  END DO")
+        defs = list(ssa.defs_of_symbol.get("I", []))
+        kinds = {ssa.defs[d].kind for d in defs}
+        assert "loop" in kinds
+
+
+class TestEntryDefs:
+    def test_use_before_def_sees_entry(self):
+        proc, cfg, ssa = analyzed("  y = x + 1.0")
+        use = next(
+            r for r in scalar_assigns(proc, "Y")[0].rhs.refs()
+            if isinstance(r, ScalarRef)
+        )
+        reaching = ssa.reaching_real_defs(use)
+        assert {d.kind for d in reaching} == {"entry"}
+
+
+class TestHelpers:
+    def test_stmt_of_use(self):
+        proc, cfg, ssa = analyzed("  x = 1.0\n  y = x")
+        use = next(scalar_assigns(proc, "Y")[0].rhs.refs())
+        assert ssa.stmt_of_use(use) is scalar_assigns(proc, "Y")[0]
+
+    def test_def_of_assignment_none_for_array(self):
+        proc, cfg, ssa = analyzed("  A(1) = 1.0")
+        stmt = next(proc.assignments())
+        assert ssa.def_of_assignment(stmt) is None

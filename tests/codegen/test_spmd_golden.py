@@ -1,0 +1,38 @@
+"""Golden-output test: the SPMD pseudo-code for paper Figure 1 is a
+stable, reviewed artifact — any change to it must be deliberate."""
+
+from repro.codegen import print_spmd
+from repro.core import CompilerOptions, compile_source
+from repro.programs import figure1_source
+
+GOLDEN = """\
+! SPMD node program for FIG1
+! processor grid PROCS(4,); this node: ME = (me0)
+! strategy: selected
+CALL SHIFT_EXCHANGE(B(I), offset=(-1))  ! vectorized@0
+CALL SHIFT_EXCHANGE(C(I), offset=(-1))  ! vectorized@0
+M = 2  ! replicated: all processors execute
+DO I = 2, (100 - 1)
+  CALL SHIFT_EXCHANGE(Y, offset=(-1))  ! inner-loop
+  M = (I + 1)  ! privatized: no guard
+  X = (B(I) + C(I))  ! guard: IOWN(D((I + 1)))
+  Y = (A(I) + B(I))  ! guard: IOWN(A(I))
+  Z = (E(I) + F(I))  ! privatized: no guard
+  A((I + 1)) = (Y / Z)  ! guard: IOWN(A((I + 1)))
+  D((I + 1)) = (X / Z)  ! guard: IOWN(D((I + 1)))
+END DO
+"""
+
+
+def test_figure1_spmd_golden():
+    compiled = compile_source(figure1_source(n=100, procs=4), CompilerOptions())
+    assert print_spmd(compiled) == GOLDEN
+
+
+def test_golden_changes_with_strategy():
+    compiled = compile_source(
+        figure1_source(n=100, procs=4), CompilerOptions(strategy="replication")
+    )
+    text = print_spmd(compiled)
+    assert text != GOLDEN
+    assert "replicated: all processors execute" in text

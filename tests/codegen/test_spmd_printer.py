@@ -1,0 +1,120 @@
+"""SPMD pseudo-code printer and bounds-shrinking tests."""
+
+import pytest
+
+from repro.codegen import all_shrinkable_loops, print_spmd, shrinkable_bounds
+from repro.core import CompilerOptions, compile_source
+from repro.programs import dgefa_source, figure1_source, tomcatv_source
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return compile_source(figure1_source(n=100, procs=4), CompilerOptions())
+
+
+@pytest.fixture(scope="module")
+def tomcatv():
+    return compile_source(tomcatv_source(n=64, niter=2, procs=4), CompilerOptions())
+
+
+class TestPrinterContent:
+    def test_header(self, fig1):
+        text = print_spmd(fig1)
+        assert "SPMD node program for FIG1" in text
+        assert "PROCS(4,)" in text
+
+    def test_vectorized_comm_hoisted_before_loop(self, fig1):
+        text = print_spmd(fig1)
+        lines = text.splitlines()
+        shift_b = next(i for i, l in enumerate(lines) if "SHIFT_EXCHANGE(B(I)" in l)
+        do_i = next(i for i, l in enumerate(lines) if l.startswith("DO I"))
+        assert shift_b < do_i
+
+    def test_inner_loop_comm_inside_loop(self, fig1):
+        text = print_spmd(fig1)
+        lines = text.splitlines()
+        shift_y = next(i for i, l in enumerate(lines) if "SHIFT_EXCHANGE(Y" in l)
+        do_i = next(i for i, l in enumerate(lines) if l.startswith("DO I"))
+        assert shift_y > do_i
+
+    def test_guards_annotated(self, fig1):
+        text = print_spmd(fig1)
+        assert "guard: IOWN(A((I + 1)))" in text
+        assert "privatized: no guard" in text
+        assert "replicated: all processors execute" in text
+
+    def test_reduction_combine_annotated(self, tomcatv):
+        text = print_spmd(tomcatv)
+        assert "ALLREDUCE(MAX" in text
+
+    def test_control_flow_annotations(self):
+        from repro.programs import figure7_source
+
+        compiled = compile_source(figure7_source(n=64, procs=4), CompilerOptions())
+        text = print_spmd(compiled)
+        assert "! privatized" in text
+
+    def test_combined_messages_reduce_calls(self):
+        src = tomcatv_source(n=64, niter=2, procs=4)
+        plain = print_spmd(compile_source(src, CompilerOptions()))
+        combined = print_spmd(
+            compile_source(src, CompilerOptions(combine_messages=True))
+        )
+        assert combined.count("SHIFT_EXCHANGE") < plain.count("SHIFT_EXCHANGE")
+
+
+class TestBoundsShrinking:
+    def test_tomcatv_j_loops_shrunk(self, tomcatv):
+        text = print_spmd(tomcatv)
+        assert "MAX(2, MY_LB0), MIN((64 - 1), MY_UB0)" in text
+        assert "shrunk to owned BLOCK segment" in text
+
+    def test_shrunk_loop_count(self, tomcatv):
+        shrunk = all_shrinkable_loops(tomcatv)
+        # the five j loops: residual nest, reduction nest, forward and
+        # backward solve nests, update nest
+        assert len(shrunk) == 5
+
+    def test_inner_i_loops_not_shrunk(self, tomcatv):
+        """The i dimension is collapsed: no ownership constraint, no
+        shrinking."""
+        shrunk = all_shrinkable_loops(tomcatv)
+        for bounds in shrunk.values():
+            assert bounds.loop.var.name == "J"
+
+    def test_guard_folded_into_shrunk_bounds(self, tomcatv):
+        text = print_spmd(tomcatv)
+        # Statements inside shrunk loops carry no IOWN guards.
+        assert "RX(I,J) = " in text
+        for line in text.splitlines():
+            if line.strip().startswith("RX(I,J) ="):
+                assert "IOWN" not in line
+
+    def test_local_range_partitions_iteration_space(self, tomcatv):
+        shrunk = next(iter(all_shrinkable_loops(tomcatv).values()))
+        lb, ub = 2, 63
+        covered = []
+        for coord in range(4):
+            for lo, hi in shrunk.local_range(coord, lb, ub):
+                covered.extend(range(lo, hi + 1))
+        assert sorted(covered) == list(range(lb, ub + 1))
+
+    def test_replicated_strategy_blocks_shrinking(self):
+        compiled = compile_source(
+            tomcatv_source(n=64, niter=2, procs=4),
+            CompilerOptions(strategy="replication"),
+        )
+        # The scalar statements must run everywhere: nests whose body
+        # contains replicated scalar assignments cannot be shrunk.
+        shrunk = all_shrinkable_loops(compiled)
+        assert len(shrunk) < 5
+
+    def test_cyclic_shrinking_dgefa(self):
+        compiled = compile_source(dgefa_source(n=32, procs=4), CompilerOptions())
+        shrunk = all_shrinkable_loops(compiled)
+        cyclic = [b for b in shrunk.values() if b.fmt.kind == "cyclic"]
+        assert cyclic
+        # Owned stripes of a cyclic j loop: every 4th column.
+        ranges = cyclic[0].local_range(1, 1, 12)
+        owned = [i for lo, hi in ranges for i in range(lo, hi + 1)]
+        assert owned == [2, 6, 10]

@@ -1,0 +1,132 @@
+"""Structured walker control-flow tests (via the sequential
+interpreter)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import run_sequential
+from repro.errors import InterpreterError
+from repro.ir import parse_and_build
+
+
+def run(body, decls="  REAL A(10), B(10)\n", inputs=None):
+    proc = parse_and_build(f"PROGRAM T\n{decls}{body}\nEND PROGRAM\n")
+    return run_sequential(proc, inputs or {})
+
+
+class TestLoops:
+    def test_simple_loop(self):
+        store = run("  DO i = 1, 5\n    A(i) = i\n  END DO")
+        assert list(store.get_array("A")[:5]) == [1, 2, 3, 4, 5]
+
+    def test_step_loop(self):
+        store = run("  DO i = 1, 9, 2\n    A(i) = 1.0\n  END DO")
+        a = store.get_array("A")
+        assert list(a[:10:2]) == [1.0] * 5
+        assert list(a[1:10:2]) == [0.0] * 5
+
+    def test_negative_step(self):
+        store = run("  m = 0\n  DO i = 5, 1, -1\n    m = m + 1\n    A(m) = i\n  END DO")
+        assert list(store.get_array("A")[:5]) == [5, 4, 3, 2, 1]
+
+    def test_zero_trip_loop(self):
+        store = run("  DO i = 5, 1\n    A(1) = 99.0\n  END DO")
+        assert store.get_array("A")[0] == 0.0
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(InterpreterError):
+            run("  DO i = 1, 5, 0\n    A(i) = 1.0\n  END DO")
+
+    def test_index_visible_after_loop(self):
+        store = run("  DO i = 1, 5\n    A(i) = 1.0\n  END DO\n  m = i")
+        assert store.get_scalar("M") == 6  # Fortran: index past the end
+
+    def test_nested_loops(self):
+        store = run(
+            "  m = 0\n  DO i = 1, 3\n    DO j = 1, 3\n      m = m + 1\n"
+            "    END DO\n  END DO\n  A(1) = m"
+        )
+        assert store.get_array("A")[0] == 9.0
+
+    def test_triangular_loop(self):
+        store = run(
+            "  m = 0\n  DO i = 1, 4\n    DO j = i, 4\n      m = m + 1\n"
+            "    END DO\n  END DO\n  A(1) = m"
+        )
+        assert store.get_array("A")[0] == 10.0
+
+
+class TestBranches:
+    def test_if_then_else(self):
+        store = run(
+            "  DO i = 1, 4\n    IF (i > 2) THEN\n      A(i) = 1.0\n"
+            "    ELSE\n      A(i) = 2.0\n    END IF\n  END DO"
+        )
+        assert list(store.get_array("A")[:4]) == [2.0, 2.0, 1.0, 1.0]
+
+    def test_one_line_if(self):
+        store = run("  DO i = 1, 4\n    IF (i == 2) A(i) = 7.0\n  END DO")
+        assert store.get_array("A")[1] == 7.0
+
+    def test_logical_operators(self):
+        store = run(
+            "  DO i = 1, 6\n    IF (i > 1 .AND. i < 5) A(i) = 1.0\n  END DO"
+        )
+        assert list(store.get_array("A")[:6]) == [0, 1, 1, 1, 0, 0]
+
+
+class TestGoto:
+    def test_forward_goto_skips(self):
+        store = run(
+            "  DO i = 1, 4\n    IF (i == 2) GO TO 10\n    A(i) = 1.0\n"
+            "10 CONTINUE\n  END DO"
+        )
+        assert list(store.get_array("A")[:4]) == [1.0, 0.0, 1.0, 1.0]
+
+    def test_goto_out_of_loop(self):
+        store = run(
+            "  DO i = 1, 10\n    IF (i == 3) GO TO 20\n    A(i) = 1.0\n  END DO\n"
+            "20 CONTINUE\n  B(1) = i"
+        )
+        assert list(store.get_array("A")[:3]) == [1.0, 1.0, 0.0]
+        assert store.get_array("B")[0] == 3.0
+
+    def test_backward_goto(self):
+        store = run(
+            "  m = 0\n"
+            "10 CONTINUE\n  m = m + 1\n  IF (m < 4) GO TO 10\n  A(1) = m"
+        )
+        assert store.get_array("A")[0] == 4.0
+
+
+class TestStop:
+    def test_stop_terminates(self):
+        store = run("  A(1) = 1.0\n  STOP\n  A(2) = 2.0")
+        assert store.get_array("A")[0] == 1.0
+        assert store.get_array("A")[1] == 0.0
+
+
+class TestArithmetic:
+    def test_integer_division_truncation(self):
+        store = run("  m = 7 / 2\n  A(1) = m")
+        assert store.get_array("A")[0] == 3.0
+
+    def test_intrinsics(self):
+        store = run("  A(1) = MAX(1.0, 2.0)\n  A(2) = ABS(-3.0)\n  A(3) = SQRT(16.0)")
+        assert list(store.get_array("A")[:3]) == [2.0, 3.0, 4.0]
+
+    def test_power(self):
+        store = run("  A(1) = 2.0 ** 3")
+        assert store.get_array("A")[0] == 8.0
+
+    def test_store_coercion_to_int(self):
+        store = run("  m = 2.7\n  A(1) = m")
+        assert store.get_array("A")[0] == 2.0
+
+    def test_subscript_bounds_checked(self):
+        with pytest.raises(InterpreterError):
+            run("  A(11) = 1.0")
+
+    def test_read_undefined_scalar_rejected(self):
+        with pytest.raises(InterpreterError):
+            run("  A(1) = q")

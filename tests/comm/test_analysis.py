@@ -1,0 +1,158 @@
+"""Communication analysis tests: event extraction, patterns, placement,
+and the message-vectorization ablation."""
+
+import pytest
+
+from repro.core import CompilerOptions, compile_source
+from repro.ir import ScalarRef
+
+
+def compile_body(body, decls="", procs=4, **opts):
+    src = (
+        "PROGRAM T\n  PARAMETER (n = 32, m = 4)\n"
+        "  REAL A(n), B(n), C(n), E(n), W(n, n)\n" + decls +
+        "!HPF$ ALIGN (i) WITH A(i) :: B, C\n"
+        "!HPF$ ALIGN (i) WITH A(*) :: E\n"
+        "!HPF$ ALIGN W(i, j) WITH A(i)\n"
+        "!HPF$ DISTRIBUTE (BLOCK) :: A\n"
+        + body + "\nEND PROGRAM\n"
+    )
+    return compile_source(src, CompilerOptions(num_procs=procs, **opts))
+
+
+class TestEventExtraction:
+    def test_local_access_no_event(self):
+        compiled = compile_body("  DO i = 1, n\n    A(i) = B(i)\n  END DO")
+        assert not compiled.comm.events
+
+    def test_shift_event(self):
+        compiled = compile_body("  DO i = 2, n\n    A(i) = B(i - 1)\n  END DO")
+        events = compiled.comm.events
+        assert len(events) == 1
+        assert events[0].pattern.kind == "shift"
+        assert events[0].pattern.offsets == (-1,)
+
+    def test_replicated_write_broadcasts_rhs(self):
+        compiled = compile_body("  DO i = 1, n\n    E(i) = B(i)\n  END DO")
+        events = compiled.comm.events
+        assert len(events) == 1
+        assert events[0].pattern.kind == "broadcast"
+
+    def test_loop_bound_data_broadcast(self):
+        """A partitioned array read directly in a loop bound must reach
+        every processor."""
+        compiled = compile_body(
+            "  DO i = 1, INT(B(1))\n    A(i) = E(i)\n  END DO",
+        )
+        bound_events = [e for e in compiled.comm.events if e.note == "loop bound"]
+        assert bound_events
+        assert bound_events[0].pattern.kind == "broadcast"
+
+    def test_lhs_subscript_broadcast(self):
+        """A partitioned array read inside an lhs subscript is needed by
+        every processor (ownership guard evaluation)."""
+        compiled = compile_body(
+            "  DO i = 1, n\n    A(INT(C(i))) = E(i)\n  END DO",
+        )
+        sub_events = [e for e in compiled.comm.events if e.note == "lhs subscript"]
+        assert sub_events
+        assert sub_events[0].ref.symbol.name == "C"
+
+    def test_subscript_scalar_forced_replicated_pushes_broadcast(self):
+        """A *scalar* lhs subscript gets the dummy replicated consumer:
+        the scalar stays replicated and its producer statement
+        broadcasts the partitioned inputs instead."""
+        compiled = compile_body(
+            "  DO i = 1, n\n    l = INT(B(i)) + 1\n    A(l) = E(i)\n  END DO",
+            decls="  INTEGER l\n",
+        )
+        from repro.core import Replicated
+
+        stmts = [
+            s for s in compiled.proc.assignments()
+            if isinstance(s.lhs, ScalarRef) and s.lhs.symbol.name == "L"
+        ]
+        assert isinstance(compiled.scalar_mapping_of(stmts[0].stmt_id), Replicated)
+        b_events = [e for e in compiled.comm.events if e.ref.symbol.name == "B"]
+        assert b_events and b_events[0].pattern.kind == "broadcast"
+
+
+class TestPlacement:
+    def test_unwritten_data_hoisted_fully(self):
+        compiled = compile_body("  DO i = 2, n\n    A(i) = B(i - 1)\n  END DO")
+        assert compiled.comm.events[0].placement_level == 0
+
+    def test_written_data_stays_in_loop(self):
+        compiled = compile_body(
+            "  DO it = 1, m\n    DO i = 2, n - 1\n      A(i) = A(i - 1) + A(i + 1)\n"
+            "    END DO\n  END DO"
+        )
+        for event in compiled.comm.events:
+            # A is rewritten inside both loops: no hoisting at all.
+            assert event.placement_level == 2
+            assert event.is_inner_loop
+
+    def test_outer_written_data_hoisted_to_outer(self):
+        compiled = compile_body(
+            "  DO it = 1, m\n"
+            "    DO i = 2, n - 1\n      C(i) = B(i - 1) + B(i + 1)\n    END DO\n"
+            "    DO i = 2, n - 1\n      B(i) = C(i)\n    END DO\n"
+            "  END DO"
+        )
+        b_events = [e for e in compiled.comm.events if e.ref.symbol.name == "B"]
+        assert b_events
+        for event in b_events:
+            assert event.placement_level == 1  # once per it iteration
+
+    def test_vectorization_ablation(self):
+        compiled = compile_body(
+            "  DO i = 2, n\n    A(i) = B(i - 1)\n  END DO",
+            message_vectorization=False,
+        )
+        assert compiled.comm.events[0].placement_level == 1
+        assert compiled.comm.events[0].is_inner_loop
+
+
+class TestScalarTransfers:
+    def test_partitioned_scalar_transfer(self):
+        compiled = compile_body(
+            "  DO i = 2, n - 1\n    y = A(i) + B(i)\n    A(i + 1) = y\n  END DO"
+        )
+        y_events = [
+            e
+            for e in compiled.comm.events
+            if isinstance(e.ref, ScalarRef) and e.ref.symbol.name == "Y"
+        ]
+        assert len(y_events) == 1
+        assert y_events[0].is_inner_loop
+
+    def test_private_noalign_scalar_free(self):
+        compiled = compile_body(
+            "  DO i = 1, n\n    z = E(i)\n    A(i) = z\n  END DO"
+        )
+        assert not compiled.comm.events
+
+
+class TestReport:
+    def test_summary_counts(self):
+        compiled = compile_body(
+            "  DO i = 2, n\n    A(i) = B(i - 1)\n  END DO"
+        )
+        text = compiled.comm.summary()
+        assert "1 transfer(s)" in text
+
+    def test_events_for_stmt(self):
+        compiled = compile_body("  DO i = 2, n\n    A(i) = B(i - 1)\n  END DO")
+        event = compiled.comm.events[0]
+        assert compiled.comm.events_for_stmt(event.stmt.stmt_id) == [event]
+
+    def test_inner_vs_vectorized_split(self):
+        compiled = compile_body(
+            "  DO i = 2, n - 1\n"
+            "    y = A(i) + B(i)\n"
+            "    A(i + 1) = y\n"
+            "    C(i) = B(i - 1)\n"
+            "  END DO"
+        )
+        assert compiled.comm.inner_loop_events()
+        assert compiled.comm.vectorized_events()

@@ -1,0 +1,139 @@
+"""Message combining (the paper's other future-work item) tests."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import run_sequential
+from repro.comm import combining_stats
+from repro.core import CompilerOptions, compile_source
+from repro.ir import parse_and_build
+from repro.machine import simulate
+from repro.perf import PerfEstimator
+from repro.programs import tomcatv_inputs, tomcatv_source
+
+
+STENCIL = """
+PROGRAM S
+  PARAMETER (n = 32, m = 4)
+  REAL A(n), B(n), C(n)
+!HPF$ ALIGN (i) WITH A(i) :: B, C
+!HPF$ DISTRIBUTE (BLOCK) :: A
+  DO i = 2, n - 1
+    A(i) = B(i - 1) + B(i - 1) + C(i - 1)
+  END DO
+END PROGRAM
+"""
+
+
+class TestDedupe:
+    def test_duplicate_refs_merged(self):
+        plain = compile_source(STENCIL, CompilerOptions(num_procs=4))
+        combined = compile_source(
+            STENCIL, CompilerOptions(num_procs=4, combine_messages=True)
+        )
+        # B(i-1) twice + C(i-1): 3 events -> 1 after dedupe+merge
+        assert len(plain.comm.events) == 3
+        assert len(combined.comm.events) < len(plain.comm.events)
+
+    def test_dedupe_is_free_in_cost(self):
+        plain = compile_source(STENCIL, CompilerOptions(num_procs=4))
+        combined = compile_source(
+            STENCIL, CompilerOptions(num_procs=4, combine_messages=True)
+        )
+        t_plain = PerfEstimator(plain).estimate().comm_time
+        t_combined = PerfEstimator(combined).estimate().comm_time
+        assert t_combined < t_plain
+
+
+class TestTomcatvCombining:
+    def test_halo_exchanges_collapse(self):
+        src = tomcatv_source(n=64, niter=2, procs=4)
+        plain = compile_source(src, CompilerOptions())
+        combined = compile_source(src, CompilerOptions(combine_messages=True))
+        # 16 per-reference shifts collapse to the 4 halo transfers
+        # (X/Y x j±1).
+        assert len(plain.comm.events) == 16
+        assert len(combined.comm.events) == 4
+
+    def test_stats(self):
+        src = tomcatv_source(n=64, niter=2, procs=4)
+        plain = compile_source(src, CompilerOptions())
+        combined = compile_source(src, CompilerOptions(combine_messages=True))
+        stats = combining_stats(plain.comm, combined.comm)
+        assert stats["events_before"] == 16
+        assert stats["events_after"] == 4
+        assert stats["duplicates_removed"] > 0
+
+    def test_comm_time_improves(self):
+        src = tomcatv_source(n=513, niter=5, procs=16)
+        t_plain = PerfEstimator(
+            compile_source(src, CompilerOptions())
+        ).estimate().comm_time
+        t_combined = PerfEstimator(
+            compile_source(src, CompilerOptions(combine_messages=True))
+        ).estimate().comm_time
+        assert t_combined < 0.5 * t_plain
+
+    def test_compute_unchanged(self):
+        src = tomcatv_source(n=257, niter=2, procs=16)
+        c_plain = PerfEstimator(
+            compile_source(src, CompilerOptions())
+        ).estimate().compute_time
+        c_combined = PerfEstimator(
+            compile_source(src, CompilerOptions(combine_messages=True))
+        ).estimate().compute_time
+        assert c_plain == pytest.approx(c_combined)
+
+
+class TestSemantics:
+    def test_simulation_unchanged(self):
+        src = tomcatv_source(n=8, niter=2, procs=4)
+        inputs = tomcatv_inputs(8)
+        seq = run_sequential(parse_and_build(src), inputs)
+        sim = simulate(
+            compile_source(src, CompilerOptions(combine_messages=True)), inputs
+        )
+        assert np.allclose(sim.gather("X"), seq.get_array("X"))
+        assert np.allclose(sim.gather("Y"), seq.get_array("Y"))
+        assert sim.stats.unexpected_fetches == 0
+
+    def test_simulator_pays_fewer_startups(self):
+        src = tomcatv_source(n=12, niter=2, procs=4)
+        inputs = tomcatv_inputs(12)
+        plain = simulate(compile_source(src, CompilerOptions()), inputs)
+        combined = simulate(
+            compile_source(src, CompilerOptions(combine_messages=True)), inputs
+        )
+        assert combined.stats.messages <= plain.stats.messages
+
+
+class TestNeutrality:
+    def test_no_events_no_change(self):
+        src = (
+            "PROGRAM T\n  PARAMETER (n = 16)\n  REAL A(n), B(n)\n"
+            "!HPF$ ALIGN B(i) WITH A(i)\n"
+            "!HPF$ DISTRIBUTE (BLOCK) :: A\n"
+            "  DO i = 1, n\n    A(i) = B(i)\n  END DO\nEND PROGRAM\n"
+        )
+        combined = compile_source(
+            src, CompilerOptions(num_procs=4, combine_messages=True)
+        )
+        assert not combined.comm.events
+
+    def test_different_patterns_not_merged(self):
+        src = (
+            "PROGRAM T\n  PARAMETER (n = 16)\n  REAL A(n), B(n), E(n)\n"
+            "!HPF$ ALIGN B(i) WITH A(i)\n"
+            "!HPF$ ALIGN E(i) WITH A(*)\n"
+            "!HPF$ DISTRIBUTE (BLOCK) :: A\n"
+            "  DO i = 2, n\n"
+            "    A(i) = B(i - 1)\n"  # shift
+            "    E(i) = B(i)\n"      # broadcast
+            "  END DO\nEND PROGRAM\n"
+        )
+        combined = compile_source(
+            src, CompilerOptions(num_procs=4, combine_messages=True)
+        )
+        kinds = {e.pattern.kind for e in combined.comm.events}
+        assert kinds == {"shift", "broadcast"}
+        assert len(combined.comm.events) == 2

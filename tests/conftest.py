@@ -1,0 +1,44 @@
+"""Shared fixtures: canonical paper program fragments."""
+
+import pytest
+
+from repro.ir import build_cfg, parse_and_build
+from repro.analysis.ssa import build_ssa
+
+
+FIG1_SRC = """
+PROGRAM fig1
+  PARAMETER (n = 10)
+  REAL A(n), B(n), C(n), D(n), E(n), F(n)
+  REAL x, y, z
+  INTEGER m, i
+!HPF$ PROCESSORS P(4)
+!HPF$ ALIGN (i) WITH A(i) :: B, C, D
+!HPF$ ALIGN (i) WITH A(*) :: E, F
+!HPF$ DISTRIBUTE (BLOCK) :: A
+  m = 2
+  DO i = 2, n - 1
+    m = m + 1
+    x = B(i) + C(i)
+    y = A(i) + B(i)
+    z = E(i) + F(i)
+    A(i + 1) = y / z
+    D(m) = x / z
+  END DO
+END PROGRAM
+"""
+
+
+@pytest.fixture
+def fig1_proc():
+    return parse_and_build(FIG1_SRC)
+
+
+@pytest.fixture
+def fig1_cfg(fig1_proc):
+    return build_cfg(fig1_proc)
+
+
+@pytest.fixture
+def fig1_ssa(fig1_cfg):
+    return build_ssa(fig1_cfg)

@@ -1,0 +1,69 @@
+"""Paper Sec. 3.1's weaker-directive inference: a bare INDEPENDENT
+asserts no value-based dependences, so arrays whose lhs references
+contribute memory-based carried dependences must be privatizable."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import run_sequential
+from repro.core import CompilerOptions, compile_source
+from repro.ir import parse_and_build
+from repro.machine import simulate
+
+
+def fig6_with(directive):
+    return (
+        "PROGRAM T\n  PARAMETER (nx = 12, ny = 12, nz = 12)\n"
+        "  REAL RSD(5, nx, ny, nz)\n  REAL C(nx, ny, 2)\n"
+        "!HPF$ PROCESSORS PROCS(2, 2)\n"
+        "!HPF$ DISTRIBUTE (*, *, BLOCK, BLOCK) :: RSD\n"
+        f"{directive}"
+        "  DO k = 2, nz - 1\n"
+        "    DO j = 2, ny - 1\n      DO i = 2, nx - 1\n"
+        "        C(i, j, 1) = RSD(2, i, j, k)\n      END DO\n    END DO\n"
+        "    DO j = 3, ny - 1\n      DO i = 2, nx - 1\n"
+        "        RSD(1, i, j, k) = C(i, j - 1, 1)\n      END DO\n    END DO\n"
+        "  END DO\nEND PROGRAM\n"
+    )
+
+
+class TestIndependentInference:
+    def test_bare_independent_privatizes(self):
+        compiled = compile_source(
+            fig6_with("!HPF$ INDEPENDENT\n"), CompilerOptions()
+        )
+        privs = compiled.array_result.privatizations
+        assert len(privs) == 1 and privs[0].array.name == "C"
+        assert privs[0].is_partial
+
+    def test_matches_new_clause_decision(self):
+        bare = compile_source(fig6_with("!HPF$ INDEPENDENT\n"), CompilerOptions())
+        declared = compile_source(
+            fig6_with("!HPF$ INDEPENDENT, NEW(C)\n"), CompilerOptions()
+        )
+        a = bare.array_result.privatizations[0]
+        b = declared.array_result.privatizations[0]
+        assert a.privatized_grid_dims == b.privatized_grid_dims
+        assert a.partitioned_dims == b.partitioned_dims
+
+    def test_no_directive_no_inference(self):
+        compiled = compile_source(fig6_with(""), CompilerOptions())
+        assert not compiled.array_result.privatizations
+
+    def test_arrays_indexed_by_loop_not_inferred(self):
+        """RSD is written with k-varying subscripts: no memory-based
+        carried dependence, hence no privatization proposal."""
+        compiled = compile_source(
+            fig6_with("!HPF$ INDEPENDENT\n"), CompilerOptions()
+        )
+        names = {p.array.name for p in compiled.array_result.privatizations}
+        assert "RSD" not in names
+
+    def test_semantics(self):
+        src = fig6_with("!HPF$ INDEPENDENT\n")
+        rng = np.random.default_rng(3)
+        inputs = {"RSD": rng.uniform(0, 1, (5, 12, 12, 12))}
+        seq = run_sequential(parse_and_build(src), inputs)
+        sim = simulate(compile_source(src, CompilerOptions()), inputs)
+        assert np.allclose(sim.gather("RSD"), seq.get_array("RSD"))
+        assert sim.stats.unexpected_fetches == 0

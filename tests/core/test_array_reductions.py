@@ -1,0 +1,168 @@
+"""Array-valued reductions (paper Section 3.1: "privatizable arrays
+used to hold results of a reduction operation are also handled in a
+similar manner as scalar variables in reduction computations")."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_ssa, find_reductions
+from repro.codegen import run_sequential
+from repro.core import CompilerOptions, compile_source
+from repro.ir import build_cfg, parse_and_build
+from repro.machine import simulate
+from repro.perf import PerfEstimator
+
+
+ROWSUM = """
+PROGRAM ARRSUM
+  PARAMETER (n = 8)
+  REAL A(n, n), S(n)
+!HPF$ PROCESSORS P(2, 2)
+!HPF$ ALIGN S(i) WITH A(i, *)
+!HPF$ DISTRIBUTE (BLOCK, BLOCK) :: A
+  DO i = 1, n
+    S(i) = 0.0
+  END DO
+  DO j = 1, n
+    DO i = 1, n
+      S(i) = S(i) + A(i, j)
+    END DO
+  END DO
+END PROGRAM
+"""
+
+
+def reductions_of(src):
+    proc = parse_and_build(src)
+    return find_reductions(proc, build_ssa(build_cfg(proc)))
+
+
+class TestRecognition:
+    def test_rowsum_recognized(self):
+        reds = reductions_of(ROWSUM)
+        assert len(reds) == 1
+        r = reds[0]
+        assert r.is_array_reduction
+        assert r.symbol.name == "S" and r.op == "+"
+        assert r.loop.var.name == "J"
+
+    def test_accumulator_ref_kept(self):
+        reds = reductions_of(ROWSUM)
+        assert str(reds[0].accumulator) == "S(I)"
+
+    def test_max_form(self):
+        src = ROWSUM.replace("S(i) = S(i) + A(i, j)", "S(i) = MAX(S(i), A(i, j))")
+        reds = reductions_of(src)
+        assert reds and reds[0].op == "MAX"
+
+    def test_varying_subscript_not_recognized(self):
+        # The update's own loop drives the subscript: an ordinary sweep.
+        src = (
+            "PROGRAM T\n  PARAMETER (n = 8)\n  REAL A(n, n), S(n)\n"
+            "!HPF$ DISTRIBUTE (*, BLOCK) :: A\n"
+            "  DO j = 1, n\n    S(j) = S(j) + A(1, j)\n  END DO\nEND PROGRAM\n"
+        )
+        reds = reductions_of(src)
+        assert not any(r.is_array_reduction for r in reds)
+
+    def test_other_reads_block_recognition(self):
+        src = ROWSUM.replace(
+            "      S(i) = S(i) + A(i, j)",
+            "      S(i) = S(i) + A(i, j)\n      A(i, j) = S(i)",
+        )
+        reds = reductions_of(src)
+        assert not any(r.is_array_reduction for r in reds)
+
+    def test_shape1_per_row_nest(self):
+        """DO i { s-init; DO j { S(i) += A(i,j) } }: reduction over j."""
+        src = (
+            "PROGRAM T\n  PARAMETER (n = 8)\n  REAL A(n, n), S(n)\n"
+            "!HPF$ PROCESSORS P(2, 2)\n"
+            "!HPF$ ALIGN S(i) WITH A(i, *)\n"
+            "!HPF$ DISTRIBUTE (BLOCK, BLOCK) :: A\n"
+            "  DO i = 1, n\n    S(i) = 0.0\n    DO j = 1, n\n"
+            "      S(i) = S(i) + A(i, j)\n    END DO\n  END DO\nEND PROGRAM\n"
+        )
+        reds = reductions_of(src)
+        array_reds = [r for r in reds if r.is_array_reduction]
+        assert len(array_reds) == 1
+        assert array_reds[0].loop.var.name == "J"
+
+
+class TestMappingAndComm:
+    def test_special_mapping_applied(self):
+        compiled = compile_source(ROWSUM, CompilerOptions())
+        assert len(compiled.scalar_pass.array_reductions) == 1
+        (_, mapping), = compiled.scalar_pass.array_reductions.values()
+        assert mapping.replicated_grid_dims == (1,)
+        assert mapping.target.symbol.name == "A"
+
+    def test_no_broadcast_of_contributions(self):
+        compiled = compile_source(ROWSUM, CompilerOptions())
+        assert not [e for e in compiled.comm.events if e.ref.symbol.name == "A"]
+        assert len(compiled.comm.reduces) == 1
+
+    def test_combine_vector_length(self):
+        compiled = compile_source(ROWSUM, CompilerOptions())
+        combine = compiled.comm.reduces[0]
+        assert combine.elements == 8  # whole S vector per combine
+
+    def test_baseline_broadcasts(self):
+        compiled = compile_source(ROWSUM, CompilerOptions(align_reductions=False))
+        assert not compiled.scalar_pass.array_reductions
+        assert [e for e in compiled.comm.events if e.ref.symbol.name == "A"]
+
+    def test_special_handling_faster(self):
+        special = PerfEstimator(
+            compile_source(ROWSUM, CompilerOptions())
+        ).estimate().total_time
+        baseline = PerfEstimator(
+            compile_source(ROWSUM, CompilerOptions(align_reductions=False))
+        ).estimate().total_time
+        assert special < baseline
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("align", [True, False])
+    def test_rowsum_correct(self, align):
+        inputs = {
+            "A": np.arange(64, dtype=float).reshape(8, 8),
+            "S": np.zeros(8),
+        }
+        seq = run_sequential(parse_and_build(ROWSUM), inputs)
+        sim = simulate(
+            compile_source(ROWSUM, CompilerOptions(align_reductions=align)), inputs
+        )
+        assert np.allclose(sim.gather("S"), seq.get_array("S"))
+        assert np.allclose(sim.gather("S"), inputs["A"].sum(axis=1))
+        assert sim.stats.unexpected_fetches == 0
+
+    def test_max_rowwise_correct(self):
+        src = ROWSUM.replace("S(i) = S(i) + A(i, j)", "S(i) = MAX(S(i), A(i, j))")
+        rng = np.random.default_rng(8)
+        inputs = {"A": rng.uniform(0, 10, (8, 8)), "S": np.zeros(8)}
+        sim = simulate(compile_source(src, CompilerOptions()), inputs)
+        assert np.allclose(sim.gather("S"), inputs["A"].max(axis=1))
+
+    def test_shape1_correct(self):
+        src = (
+            "PROGRAM T\n  PARAMETER (n = 8)\n  REAL A(n, n), S(n)\n"
+            "!HPF$ PROCESSORS P(2, 2)\n"
+            "!HPF$ ALIGN S(i) WITH A(i, *)\n"
+            "!HPF$ DISTRIBUTE (BLOCK, BLOCK) :: A\n"
+            "  DO i = 1, n\n    S(i) = 0.0\n    DO j = 1, n\n"
+            "      S(i) = S(i) + A(i, j)\n    END DO\n  END DO\nEND PROGRAM\n"
+        )
+        rng = np.random.default_rng(2)
+        inputs = {"A": rng.uniform(0, 1, (8, 8)), "S": np.zeros(8)}
+        sim = simulate(compile_source(src, CompilerOptions()), inputs)
+        assert np.allclose(sim.gather("S"), inputs["A"].sum(axis=1))
+        assert sim.stats.unexpected_fetches == 0
+
+    def test_combines_charged(self):
+        inputs = {
+            "A": np.arange(64, dtype=float).reshape(8, 8),
+            "S": np.zeros(8),
+        }
+        sim = simulate(compile_source(ROWSUM, CompilerOptions()), inputs)
+        assert sim.stats.reductions >= 1

@@ -1,0 +1,143 @@
+"""Direct unit tests for use-classification and consumer-candidate
+identification (beyond the Figure 2 integration tests)."""
+
+import pytest
+
+from repro.core import (
+    CompilerOptions,
+    DummyReplicatedRef,
+    classify_use,
+    compile_source,
+    consumer_candidate,
+)
+from repro.ir import ArrayElemRef, ScalarRef
+
+
+def compiled_with(body, decls=""):
+    src = (
+        "PROGRAM T\n  PARAMETER (n = 16)\n"
+        "  REAL A(n), B(n), E(n)\n" + decls +
+        "!HPF$ ALIGN B(i) WITH A(i)\n"
+        "!HPF$ ALIGN E(i) WITH A(*)\n"
+        "!HPF$ DISTRIBUTE (BLOCK) :: A\n"
+        + body + "\nEND PROGRAM\n"
+    )
+    return compile_source(src, CompilerOptions(num_procs=4))
+
+
+def use_of(compiled, name):
+    for stmt in compiled.proc.all_stmts():
+        for ref in stmt.uses():
+            if isinstance(ref, ScalarRef) and ref.symbol.name == name:
+                return ref, stmt
+    raise AssertionError(name)
+
+
+class TestClassification:
+    def test_rhs_value(self):
+        compiled = compiled_with(
+            "  DO i = 1, n\n    x = E(i)\n    A(i) = x\n  END DO"
+        )
+        # the use of X on the A(i) assignment
+        for stmt in compiled.proc.assignments():
+            for ref in stmt.rhs.refs():
+                if isinstance(ref, ScalarRef) and ref.symbol.name == "X":
+                    assert classify_use(ref, stmt).role == "rhs-value"
+                    return
+        raise AssertionError
+
+    def test_loop_bound(self):
+        compiled = compiled_with(
+            "  m = 8\n  DO i = 1, m\n    A(i) = E(i)\n  END DO",
+            decls="  INTEGER m\n",
+        )
+        use, stmt = use_of(compiled, "M")
+        assert classify_use(use, stmt).role == "loop-bound"
+
+    def test_if_condition(self):
+        compiled = compiled_with(
+            "  DO i = 1, n\n    x = E(i)\n"
+            "    IF (x > 0.0) THEN\n      A(i) = x\n    END IF\n  END DO"
+        )
+        for stmt in compiled.proc.all_stmts():
+            from repro.ir import IfStmt
+
+            if isinstance(stmt, IfStmt):
+                use = next(
+                    r for r in stmt.uses() if isinstance(r, ScalarRef)
+                )
+                assert classify_use(use, stmt).role == "if-cond"
+                return
+        raise AssertionError
+
+    def test_lhs_subscript(self):
+        compiled = compiled_with(
+            "  DO i = 1, n\n    l = i\n    A(l) = E(i)\n  END DO",
+            decls="  INTEGER l\n",
+        )
+        for stmt in compiled.proc.assignments():
+            if isinstance(stmt.lhs, ArrayElemRef):
+                for sub in stmt.lhs.subscripts:
+                    for ref in sub.refs():
+                        if isinstance(ref, ScalarRef) and ref.symbol.name == "L":
+                            assert classify_use(ref, stmt).role == "lhs-subscript"
+                            return
+        raise AssertionError
+
+    def test_rhs_subscript_with_enclosing_ref(self):
+        compiled = compiled_with(
+            "  DO i = 1, n\n    l = i\n    A(i) = B(l)\n  END DO",
+            decls="  INTEGER l\n",
+        )
+        for stmt in compiled.proc.assignments():
+            for ref in stmt.rhs.refs():
+                if isinstance(ref, ScalarRef) and ref.symbol.name == "L":
+                    ctx = classify_use(ref, stmt)
+                    assert ctx.role == "rhs-subscript"
+                    assert ctx.enclosing_ref.symbol.name == "B"
+                    return
+        raise AssertionError
+
+
+class TestCandidates:
+    def test_loop_bound_forces_dummy(self):
+        compiled = compiled_with(
+            "  m = 8\n  DO i = 1, m\n    A(i) = E(i)\n  END DO",
+            decls="  INTEGER m\n",
+        )
+        use, stmt = use_of(compiled, "M")
+        ctx = classify_use(use, stmt)
+        assert isinstance(
+            consumer_candidate(ctx, compiled.scalar_pass), DummyReplicatedRef
+        )
+
+    def test_local_subscript_yields_lhs(self):
+        compiled = compiled_with(
+            "  DO i = 1, n\n    l = i\n    A(i) = B(l)\n  END DO",
+            decls="  INTEGER l\n",
+        )
+        for stmt in compiled.proc.assignments():
+            for ref in stmt.rhs.refs():
+                if isinstance(ref, ScalarRef) and ref.symbol.name == "L":
+                    ctx = classify_use(ref, stmt)
+                    candidate = consumer_candidate(ctx, compiled.scalar_pass)
+                    # B(l) may require communication (l unknown), so the
+                    # candidate may be DUMMY; with l == i it is actually
+                    # unknowable statically -> DUMMY expected.
+                    assert isinstance(candidate, (DummyReplicatedRef, ArrayElemRef))
+                    return
+        raise AssertionError
+
+    def test_rhs_value_yields_lhs(self):
+        compiled = compiled_with(
+            "  DO i = 1, n\n    x = E(i)\n    A(i) = x\n  END DO"
+        )
+        for stmt in compiled.proc.assignments():
+            for ref in stmt.rhs.refs():
+                if isinstance(ref, ScalarRef) and ref.symbol.name == "X":
+                    ctx = classify_use(ref, stmt)
+                    candidate = consumer_candidate(ctx, compiled.scalar_pass)
+                    assert isinstance(candidate, ArrayElemRef)
+                    assert candidate.symbol.name == "A"
+                    return
+        raise AssertionError

@@ -1,0 +1,166 @@
+"""Compiler diagnostics tests."""
+
+import pytest
+
+from repro.core import CompilerOptions, compile_source, diagnose, render_diagnostics
+
+
+def compile_body(body, decls="", procs=4, **opts):
+    src = (
+        "PROGRAM T\n  PARAMETER (n = 32)\n"
+        "  REAL A(n), B(n), C(n), E(n)\n" + decls +
+        "!HPF$ ALIGN (i) WITH A(i) :: B, C\n"
+        "!HPF$ ALIGN (i) WITH A(*) :: E\n"
+        "!HPF$ DISTRIBUTE (BLOCK) :: A\n"
+        + body + "\nEND PROGRAM\n"
+    )
+    return compile_source(src, CompilerOptions(num_procs=procs, **opts))
+
+
+def codes(compiled):
+    return [d.code for d in diagnose(compiled)]
+
+
+class TestReplicationReasons:
+    def test_loop_bound_reason(self):
+        compiled = compile_body(
+            "  DO i = 1, n\n    m = INT(B(i))\n    DO j = 1, m\n"
+            "      A(j) = E(j)\n    END DO\n  END DO",
+        )
+        diags = [d for d in diagnose(compiled) if d.code == "W-REPL-SCALAR"]
+        assert diags
+        assert "loop bound" in diags[0].message
+
+    def test_lhs_subscript_reason(self):
+        compiled = compile_body(
+            "  DO i = 1, n\n    l = INT(B(i)) + 1\n    A(l) = E(i)\n  END DO",
+            decls="  INTEGER l\n",
+        )
+        diags = [d for d in diagnose(compiled) if d.code == "W-REPL-SCALAR"]
+        assert diags
+        assert "ownership guard" in diags[0].message
+
+    def test_no_warning_for_aligned_scalar(self):
+        compiled = compile_body(
+            "  DO i = 1, n\n    x = B(i) + C(i)\n    A(i) = x\n  END DO"
+        )
+        assert "W-REPL-SCALAR" not in codes(compiled)
+
+
+class TestArrayWarnings:
+    def test_unmapped_array_flagged(self):
+        compiled = compile_body(
+            "  DO i = 1, n\n    A(i) = Z(i)\n  END DO",
+            decls="  REAL Z(n)\n",
+        )
+        diags = [d for d in diagnose(compiled) if d.code == "W-REPL-ARRAY"]
+        assert any("Z" in d.message for d in diags)
+
+    def test_explicit_star_alignment_not_flagged(self):
+        compiled = compile_body("  DO i = 1, n\n    A(i) = E(i)\n  END DO")
+        diags = [d for d in diagnose(compiled) if d.code == "W-REPL-ARRAY"]
+        assert not any("E " in d.message for d in diags)
+
+
+class TestCommWarnings:
+    def test_inner_loop_comm_flagged(self):
+        compiled = compile_body(
+            "  DO i = 2, n - 1\n    y = A(i) + B(i)\n    A(i + 1) = y\n  END DO"
+        )
+        assert "W-INNER-COMM" in codes(compiled)
+
+    def test_vectorized_comm_not_flagged(self):
+        compiled = compile_body(
+            "  DO i = 2, n\n    A(i) = B(i - 1)\n  END DO"
+        )
+        assert "W-INNER-COMM" not in codes(compiled)
+
+
+class TestInfoNotes:
+    def test_producer_veto_noted(self):
+        compiled = compile_body(
+            "  DO i = 2, n - 1\n    y = A(i) + B(i)\n    A(i + 1) = y\n  END DO"
+        )
+        assert "I-PRODUCER" in codes(compiled)
+
+    def test_induction_noted(self):
+        compiled = compile_body(
+            "  m = 0\n  DO i = 1, n - 1\n    m = m + 1\n    A(m) = B(i)\n  END DO",
+            decls="  INTEGER m\n",
+        )
+        assert "I-INDUCTION" in codes(compiled)
+
+    def test_reduction_noted(self):
+        compiled = compile_body(
+            "  s = 0.0\n  DO i = 1, n\n    s = s + B(i)\n  END DO\n  A(1) = s",
+            decls="  REAL s\n",
+        )
+        assert "I-REDUCTION" in codes(compiled)
+
+    def test_array_privatization_noted(self):
+        from repro.programs import figure6_source
+
+        compiled = compile_source(
+            figure6_source(n=12, p0=2, p1=2), CompilerOptions()
+        )
+        assert "I-ARRAY-PRIV" in codes(compiled)
+
+    def test_privatization_failure_warned(self):
+        from repro.programs import figure6_source
+
+        compiled = compile_source(
+            figure6_source(n=12, p0=2, p1=2),
+            CompilerOptions(partial_privatization=False),
+        )
+        assert "W-PRIV-FAIL" in codes(compiled)
+
+
+class TestRendering:
+    def test_render_empty(self):
+        compiled = compile_body("  DO i = 1, n\n    A(i) = B(i)\n  END DO")
+        diags = [d for d in diagnose(compiled) if d.severity == "warning"]
+        assert render_diagnostics(diags) in ("no diagnostics",) or diags == []
+
+    def test_render_format(self):
+        compiled = compile_body(
+            "  DO i = 2, n - 1\n    y = A(i) + B(i)\n    A(i + 1) = y\n  END DO"
+        )
+        text = render_diagnostics(diagnose(compiled))
+        assert "WARNING W-INNER-COMM" in text
+        assert "INFO I-PRODUCER" in text
+
+    def test_warnings_sorted_first(self):
+        compiled = compile_body(
+            "  s = 0.0\n"
+            "  DO i = 2, n - 1\n    y = A(i) + B(i)\n    A(i + 1) = y\n"
+            "    s = s + B(i)\n  END DO\n  A(1) = s",
+            decls="  REAL s\n",
+        )
+        diags = diagnose(compiled)
+        severities = [d.severity for d in diags]
+        assert severities == sorted(severities, key=lambda s: s != "warning")
+
+
+class TestBenchmarkDiagnostics:
+    """The diagnostics pass runs cleanly over every benchmark."""
+
+    def test_all_benchmarks_diagnosable(self):
+        from repro.programs import appsp_source, dgefa_source, tomcatv_source
+
+        for src in (
+            tomcatv_source(n=16, niter=1, procs=4),
+            dgefa_source(n=16, procs=4),
+            appsp_source(nx=8, ny=8, nz=8, niter=1, procs=4),
+        ):
+            compiled = compile_source(src, CompilerOptions())
+            text = render_diagnostics(diagnose(compiled))
+            assert isinstance(text, str) and text
+
+    def test_tomcatv_reports_reductions_and_producer_notes(self):
+        from repro.programs import tomcatv_source
+
+        compiled = compile_source(
+            tomcatv_source(n=16, niter=1, procs=4), CompilerOptions()
+        )
+        cs = codes(compiled)
+        assert "I-REDUCTION" in cs

@@ -1,0 +1,148 @@
+"""Locality algebra tests: positions, comm-freedom, transfer patterns."""
+
+import pytest
+
+from repro.core import (
+    ANY,
+    CompilerOptions,
+    all_any,
+    classify_transfer,
+    comm_free,
+    compile_source,
+    position_of_array_ref,
+)
+from repro.core.locality import (
+    DimPosition,
+    forms_constant_offset,
+    forms_equal,
+    scale_shift,
+)
+from repro.ir import ArrayElemRef, affine_form, parse_and_build
+from repro.mapping import ProcessorGrid, resolve_mappings
+
+
+SRC = """
+PROGRAM T
+  PARAMETER (n = 16)
+  REAL A(n), B(n), E(n)
+!HPF$ ALIGN B(i) WITH A(i)
+!HPF$ ALIGN E(i) WITH A(*)
+!HPF$ DISTRIBUTE (BLOCK) :: A
+  DO i = 2, n - 1
+    A(i) = B(i) + B(i - 1) + E(i) + A(i + 1)
+  END DO
+END PROGRAM
+"""
+
+
+@pytest.fixture(scope="module")
+def env():
+    proc = parse_and_build(SRC)
+    grid = ProcessorGrid(name="P", shape=(4,))
+    maps = resolve_mappings(proc, grid)
+    stmt = next(proc.assignments())
+    refs = {str(r): r for r in stmt.rhs.refs() if isinstance(r, ArrayElemRef)}
+    refs[str(stmt.lhs)] = stmt.lhs
+    return proc, maps, refs
+
+
+class TestPositions:
+    def test_identity_aligned_positions_equal(self, env):
+        proc, maps, refs = env
+        pos_a = position_of_array_ref(refs["A(I)"], maps["A"])
+        pos_b = position_of_array_ref(refs["B(I)"], maps["B"])
+        assert comm_free(pos_b, pos_a)
+        assert comm_free(pos_a, pos_b)
+
+    def test_offset_positions_differ(self, env):
+        proc, maps, refs = env
+        pos_a = position_of_array_ref(refs["A(I)"], maps["A"])
+        pos_b1 = position_of_array_ref(refs["B((I - 1))"], maps["B"])
+        assert not comm_free(pos_b1, pos_a)
+
+    def test_replicated_always_local(self, env):
+        proc, maps, refs = env
+        pos_e = position_of_array_ref(refs["E(I)"], maps["E"])
+        assert pos_e == (ANY,)
+        assert comm_free(pos_e, position_of_array_ref(refs["A(I)"], maps["A"]))
+
+    def test_data_at_position_not_free_for_all(self, env):
+        proc, maps, refs = env
+        pos_a = position_of_array_ref(refs["A(I)"], maps["A"])
+        assert not comm_free(pos_a, all_any(1))
+
+    def test_single_proc_dim_is_any(self):
+        proc = parse_and_build(SRC)
+        maps = resolve_mappings(proc, ProcessorGrid(name="P", shape=(1,)))
+        stmt = next(proc.assignments())
+        pos = position_of_array_ref(stmt.lhs, maps["A"])
+        assert pos == (ANY,)
+
+
+class TestTransferClassification:
+    def test_shift_detected(self, env):
+        proc, maps, refs = env
+        pos_a = position_of_array_ref(refs["A(I)"], maps["A"])
+        pos_next = position_of_array_ref(refs["A((I + 1))"], maps["A"])
+        pattern = classify_transfer(pos_next, pos_a)
+        assert pattern.kind == "shift"
+        assert pattern.offsets == (1,)
+
+    def test_broadcast_detected(self, env):
+        proc, maps, refs = env
+        pos_a = position_of_array_ref(refs["A(I)"], maps["A"])
+        pattern = classify_transfer(pos_a, all_any(1))
+        assert pattern.kind == "broadcast"
+        assert pattern.bcast_dims == (0,)
+
+    def test_none_for_comm_free(self, env):
+        proc, maps, refs = env
+        pos_a = position_of_array_ref(refs["A(I)"], maps["A"])
+        pos_b = position_of_array_ref(refs["B(I)"], maps["B"])
+        assert classify_transfer(pos_b, pos_a).kind == "none"
+
+    def test_general_for_different_variables(self):
+        src = (
+            "PROGRAM T\n  PARAMETER (n = 16)\n  REAL C(n, n)\n"
+            "!HPF$ DISTRIBUTE (*, BLOCK) :: C\n"
+            "  DO k = 1, n\n    DO j = 1, n\n      C(1, j) = C(2, k)\n"
+            "    END DO\n  END DO\nEND PROGRAM\n"
+        )
+        proc = parse_and_build(src)
+        maps = resolve_mappings(proc, ProcessorGrid(name="P", shape=(4,)))
+        stmt = next(proc.assignments())
+        read = next(r for r in stmt.rhs.refs() if isinstance(r, ArrayElemRef))
+        pos_w = position_of_array_ref(stmt.lhs, maps["C"])
+        pos_r = position_of_array_ref(read, maps["C"])
+        assert classify_transfer(pos_r, pos_w).kind == "general"
+
+
+class TestFormHelpers:
+    def _form(self, proc, text_src):
+        p = parse_and_build(text_src)
+        stmt = next(p.assignments())
+        return affine_form(stmt.lhs.subscripts[0])
+
+    def test_forms_equal(self):
+        src = "PROGRAM T\n  REAL A(9)\n  DO i = 1, 9\n    A(i) = 0.0\n  END DO\nEND\n"
+        f1 = self._form(None, src)
+        f2 = self._form(None, src)
+        assert forms_equal(f1, f2)
+
+    def test_forms_constant_offset(self):
+        base = "PROGRAM T\n  REAL A(9)\n  DO i = 1, 8\n    A({sub}) = 0.0\n  END DO\nEND\n"
+        f1 = self._form(None, base.format(sub="i + 1"))
+        f2 = self._form(None, base.format(sub="i"))
+        assert forms_constant_offset(f1, f2) == 1
+
+    def test_forms_offset_none_for_different_vars(self):
+        s1 = "PROGRAM T\n  REAL A(9)\n  DO i = 1, 9\n    A(i) = 0.0\n  END DO\nEND\n"
+        s2 = "PROGRAM T\n  REAL A(9)\n  DO j = 1, 9\n    A(j) = 0.0\n  END DO\nEND\n"
+        assert forms_constant_offset(self._form(None, s1), self._form(None, s2)) is None
+
+    def test_scale_shift(self):
+        src = "PROGRAM T\n  REAL A(9)\n  DO i = 1, 9\n    A(i) = 0.0\n  END DO\nEND\n"
+        f = self._form(None, src)
+        g = scale_shift(f, 2, 3)
+        assert g.const == f.const * 2 + 3
+        assert g.coeffs[0][1] == 2

@@ -1,0 +1,181 @@
+"""DetermineMapping algorithm tests beyond the paper figures: the
+deferral list, consistency propagation, the veto, and edge cases."""
+
+import pytest
+
+from repro.core import (
+    AlignedTo,
+    CompilerOptions,
+    PrivateNoAlign,
+    Replicated,
+    compile_source,
+)
+from repro.ir import ScalarRef
+
+
+def mappings_of(compiled, name):
+    out = []
+    for stmt in compiled.proc.assignments():
+        if isinstance(stmt.lhs, ScalarRef) and stmt.lhs.symbol.name == name:
+            out.append(compiled.scalar_mapping_of(stmt.stmt_id))
+    return out
+
+
+def compile_body(body, decls="", procs=4, **opts):
+    src = (
+        "PROGRAM T\n  PARAMETER (n = 32)\n"
+        "  REAL A(n), B(n), C(n), E(n)\n" + decls +
+        "!HPF$ ALIGN (i) WITH A(i) :: B, C\n"
+        "!HPF$ ALIGN (i) WITH A(*) :: E\n"
+        "!HPF$ DISTRIBUTE (BLOCK) :: A\n"
+        + body + "\nEND PROGRAM\n"
+    )
+    return compile_source(src, CompilerOptions(num_procs=procs, **opts))
+
+
+class TestNoAlignDeferral:
+    def test_replicated_rhs_unique_def_becomes_noalign(self):
+        compiled = compile_body(
+            "  DO i = 1, n\n    x = E(i)\n    A(i) = x\n  END DO"
+        )
+        assert isinstance(mappings_of(compiled, "X")[0], PrivateNoAlign)
+
+    def test_non_unique_def_not_noalign(self):
+        compiled = compile_body(
+            "  DO i = 1, n\n"
+            "    IF (E(i) > 0.0) THEN\n      x = E(i)\n    ELSE\n      x = 0.0\n"
+            "    END IF\n    A(i) = x\n  END DO"
+        )
+        for m in mappings_of(compiled, "X"):
+            assert not isinstance(m, PrivateNoAlign)
+
+    def test_rhs_becomes_partitioned_later(self):
+        """y's rhs contains x; x ends aligned (partitioned), so y's
+        deferred no-align candidacy must be rescinded in the final pass
+        and the tentative alignment kept."""
+        compiled = compile_body(
+            "  DO i = 1, n\n"
+            "    x = B(i)\n"       # x -> aligned (consumer chain)
+            "    y = x\n"          # y's rhs *looked* replicated at first
+            "    A(i) = y\n"
+            "  END DO"
+        )
+        y = mappings_of(compiled, "Y")[0]
+        assert isinstance(y, AlignedTo)
+
+
+class TestConsistency:
+    def test_all_reaching_defs_share_mapping(self):
+        compiled = compile_body(
+            "  DO i = 1, n\n"
+            "    IF (E(i) > 0.0) THEN\n      x = B(i)\n    ELSE\n      x = C(i)\n"
+            "    END IF\n    A(i) = x\n  END DO"
+        )
+        m1, m2 = mappings_of(compiled, "X")
+        assert m1 == m2
+
+
+class TestVeto:
+    VETO_BODY = (
+        "  DO i = 2, n - 1\n"
+        "    y = A(i) + B(i)\n"
+        "    A(i + 1) = y\n"
+        "  END DO"
+    )
+
+    def test_selected_vetoes_consumer(self):
+        compiled = compile_body(self.VETO_BODY)
+        y = mappings_of(compiled, "Y")[0]
+        assert isinstance(y, AlignedTo) and not y.is_consumer
+
+    def test_consumer_strategy_skips_veto(self):
+        compiled = compile_body(self.VETO_BODY, strategy="consumer")
+        y = mappings_of(compiled, "Y")[0]
+        assert isinstance(y, AlignedTo) and y.is_consumer
+
+    def test_no_veto_when_rhs_not_written_in_loop(self):
+        compiled = compile_body(
+            "  DO i = 2, n - 1\n"
+            "    y = B(i) + C(i)\n"
+            "    A(i + 1) = y\n"
+            "  END DO"
+        )
+        y = mappings_of(compiled, "Y")[0]
+        assert isinstance(y, AlignedTo) and y.is_consumer
+
+
+class TestReplicationForcing:
+    def test_use_in_loop_bound_forces_replication(self):
+        compiled = compile_body(
+            "  DO i = 1, n\n"
+            "    m = INT(B(i))\n"
+            "    DO j = 1, m\n      A(j) = B(j)\n    END DO\n"
+            "  END DO",
+        )
+        assert isinstance(mappings_of(compiled, "M")[0], Replicated)
+
+    def test_use_in_lhs_subscript_forces_replication(self):
+        compiled = compile_body(
+            "  DO i = 1, n\n"
+            "    m = INT(B(i)) + 1\n"
+            "    A(m) = C(i)\n"
+            "  END DO",
+        )
+        assert isinstance(mappings_of(compiled, "M")[0], Replicated)
+
+    def test_if_condition_use_forces_replication(self):
+        compiled = compile_body(
+            "  DO i = 1, n\n"
+            "    x = B(i)\n"
+            "    IF (x > 0.0) THEN\n      A(i) = x\n    END IF\n"
+            "  END DO",
+        )
+        assert isinstance(mappings_of(compiled, "X")[0], Replicated)
+
+    def test_non_privatizable_stays_replicated(self):
+        compiled = compile_body(
+            "  x = 0.0\n"
+            "  DO i = 1, n\n"
+            "    A(i) = x\n"
+            "    x = B(i)\n"
+            "  END DO",
+        )
+        for m in mappings_of(compiled, "X"):
+            assert isinstance(m, Replicated)
+
+
+class TestAlignmentValidity:
+    def test_invalid_alignlevel_prevents_alignment(self):
+        """The consumer's subscripts vary deeper than the privatization
+        level -> alignment rejected."""
+        compiled = compile_body(
+            "  DO i = 1, n\n"
+            "    x = E(1)\n"
+            "    DO j = 1, n\n"
+            "      A(j) = x + B(j)\n"
+            "    END DO\n"
+            "  END DO",
+        )
+        x = mappings_of(compiled, "X")[0]
+        # consumer A(j) has AlignLevel 2 but x is privatizable at level
+        # 1; alignment is invalid, and since the rhs (E) is replicated
+        # and the def unique, no-align privatization wins.
+        assert not isinstance(x, AlignedTo)
+
+
+class TestTraversalHeuristic:
+    def test_prefers_traversed_reference(self):
+        """Given consumers A(i) and A(1), the mapping should prefer the
+        reference traversed in the common loop (paper: 'alignment with a
+        reference A(i) would be preferred over ... A(1)')."""
+        compiled = compile_body(
+            "  DO i = 2, n\n"
+            "    x = B(i) + C(i)\n"
+            "    A(1) = x\n"
+            "    A(i) = x\n"
+            "  END DO",
+        )
+        x = mappings_of(compiled, "X")[0]
+        assert isinstance(x, AlignedTo)
+        sub = str(x.target.subscripts[0])
+        assert "I" in sub

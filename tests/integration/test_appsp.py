@@ -1,0 +1,116 @@
+"""APPSP end-to-end: sweep semantics under all four Table-3 variants."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import run_sequential
+from repro.core import CompilerOptions, compile_source
+from repro.ir import parse_and_build
+from repro.machine import simulate
+from repro.perf import PerfEstimator
+from repro.programs import appsp_inputs, appsp_source
+
+
+VARIANTS = [
+    ("1d", CompilerOptions(privatize_arrays=False), "1d-nopriv"),
+    ("1d", CompilerOptions(), "1d-priv"),
+    ("2d", CompilerOptions(partial_privatization=False), "2d-nopartial"),
+    ("2d", CompilerOptions(), "2d-partial"),
+]
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("dist,opts,label", VARIANTS, ids=[v[2] for v in VARIANTS])
+    def test_simulation_matches_sequential(self, dist, opts, label):
+        src = appsp_source(nx=6, ny=6, nz=6, niter=2, procs=4, distribution=dist)
+        inputs = appsp_inputs(6, 6, 6)
+        seq = run_sequential(parse_and_build(src), inputs)
+        sim = simulate(compile_source(src, opts), inputs)
+        assert np.allclose(sim.gather("RSD"), seq.get_array("RSD"))
+        assert sim.stats.unexpected_fetches == 0
+
+
+class TestPrivatizationDecisions:
+    def test_1d_full_privatization(self):
+        compiled = compile_source(
+            appsp_source(nx=16, ny=16, nz=16, niter=1, procs=4, distribution="1d"),
+            CompilerOptions(),
+        )
+        privs = compiled.array_result.privatizations
+        assert len(privs) == 1
+        assert privs[0].array.name == "C"
+        assert not privs[0].is_partial
+
+    def test_2d_partial_privatization(self):
+        compiled = compile_source(
+            appsp_source(nx=16, ny=16, nz=16, niter=1, procs=4, distribution="2d"),
+            CompilerOptions(),
+        )
+        privs = compiled.array_result.privatizations
+        assert len(privs) == 1
+        assert privs[0].is_partial
+        assert privs[0].privatized_grid_dims == (1,)
+        assert privs[0].partitioned_dims == {1: 0}
+
+    def test_2d_without_partial_fails(self):
+        compiled = compile_source(
+            appsp_source(nx=16, ny=16, nz=16, niter=1, procs=4, distribution="2d"),
+            CompilerOptions(partial_privatization=False),
+        )
+        assert not compiled.array_result.privatizations
+        assert compiled.array_result.failures
+        assert compiled.mappings["C"].is_replicated
+
+    def test_nopriv_leaves_c_replicated(self):
+        compiled = compile_source(
+            appsp_source(nx=16, ny=16, nz=16, niter=1, procs=4, distribution="1d"),
+            CompilerOptions(privatize_arrays=False),
+        )
+        assert compiled.mappings["C"].is_replicated
+
+
+class TestTable3Shape:
+    @pytest.fixture(scope="class")
+    def times(self):
+        out = {}
+        for dist, opts, label in VARIANTS:
+            for procs in (4, 16):
+                compiled = compile_source(
+                    appsp_source(
+                        nx=32, ny=32, nz=32, niter=2, procs=procs, distribution=dist
+                    ),
+                    opts,
+                )
+                out[label, procs] = PerfEstimator(compiled).estimate().total_time
+        return out
+
+    def test_privatization_always_wins(self, times):
+        for procs in (4, 16):
+            assert times["1d-priv", procs] < times["1d-nopriv", procs]
+            assert times["2d-partial", procs] < times["2d-nopartial", procs]
+
+    def test_nopriv_does_not_scale(self, times):
+        assert times["1d-nopriv", 16] >= times["1d-nopriv", 4]
+        assert times["2d-nopartial", 16] >= times["2d-nopartial", 4]
+
+    def test_2d_without_partial_equals_replication_disaster(self, times):
+        """Paper: "with a 2-D distribution, even regular array
+        privatization does not help" — the 2-D no-partial variant is in
+        the same regime as no privatization at all."""
+        ratio = times["2d-nopartial", 16] / times["1d-nopriv", 16]
+        assert 0.5 < ratio < 2.0
+
+    def test_paper_crossover(self, times):
+        """Paper: the 2-D version "starts out at fewer processors with
+        better performance [no transpose] but does not scale as well as
+        the version using 1-D distribution"."""
+        # At high P the 1-D (transpose) version wins...
+        assert times["1d-priv", 16] < times["2d-partial", 16]
+        # ...while both privatized variants stay far below the
+        # no-privatization disasters everywhere.
+        for procs in (4, 16):
+            worst_priv = max(times["1d-priv", procs], times["2d-partial", procs])
+            best_nopriv = min(
+                times["1d-nopriv", procs], times["2d-nopartial", procs]
+            )
+            assert worst_priv < best_nopriv

@@ -1,0 +1,131 @@
+"""DGEFA end-to-end: elimination semantics + Table 2 shape."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import run_sequential
+from repro.core import (
+    CompilerOptions,
+    FullyReplicatedReduction,
+    ReductionMapping,
+    compile_source,
+)
+from repro.ir import ScalarRef, parse_and_build
+from repro.machine import simulate
+from repro.perf import PerfEstimator
+from repro.programs import dgefa_inputs, dgefa_reference, dgefa_source
+
+
+class TestSequentialSemantics:
+    def test_matches_numpy_reference(self):
+        src = dgefa_source(n=10, procs=4)
+        inputs = dgefa_inputs(10)
+        store = run_sequential(parse_and_build(src), inputs)
+        ref_a, ref_p = dgefa_reference(inputs["A"])
+        assert np.allclose(store.get_array("A"), ref_a)
+        assert np.allclose(store.get_array("AMD")[:9], ref_p[:9])
+
+    def test_factorization_solves(self):
+        """LU factors actually factor the matrix (reconstruction)."""
+        n = 8
+        inputs = dgefa_inputs(n)
+        a0 = inputs["A"].copy()
+        store = run_sequential(parse_and_build(dgefa_source(n=n, procs=2)), inputs)
+        lu = store.get_array("A")
+        pivots = store.get_array("AMD").astype(int)
+        # Rebuild: apply the recorded row exchanges and multipliers.
+        l = np.eye(n)
+        u = np.triu(lu)
+        l[np.tril_indices(n, -1)] = -lu[np.tril_indices(n, -1)]
+        perm = np.eye(n)
+        for k in range(n - 1):
+            p = np.eye(n)
+            lk = pivots[k] - 1
+            p[[k, lk]] = p[[lk, k]]
+            perm = p @ perm
+        assert np.allclose(l @ u, perm @ a0, atol=1e-8)
+
+
+class TestParallelSemantics:
+    @pytest.mark.parametrize("align", [True, False])
+    @pytest.mark.parametrize("procs", [2, 4])
+    def test_simulation_matches_sequential(self, align, procs):
+        src = dgefa_source(n=8, procs=procs)
+        inputs = dgefa_inputs(8)
+        seq = run_sequential(parse_and_build(src), inputs)
+        compiled = compile_source(src, CompilerOptions(align_reductions=align))
+        sim = simulate(compiled, inputs)
+        assert np.allclose(sim.gather("A"), seq.get_array("A"))
+        assert np.allclose(sim.gather("AMD"), seq.get_array("AMD"))
+        assert sim.stats.unexpected_fetches == 0
+
+
+class TestMappingDecisions:
+    def test_pivot_scalars_reduction_mapped(self):
+        compiled = compile_source(dgefa_source(n=64, procs=4), CompilerOptions())
+        found = {}
+        for stmt in compiled.proc.assignments():
+            if isinstance(stmt.lhs, ScalarRef) and stmt.lhs.symbol.name in ("PMAX", "L"):
+                mapping = compiled.scalar_mapping_of(stmt.stmt_id)
+                found.setdefault(stmt.lhs.symbol.name, set()).add(type(mapping).__name__)
+        assert found["PMAX"] == {"ReductionMapping"}
+        assert found["L"] == {"ReductionMapping"}
+
+    def test_maxloc_confined_to_column_owner(self):
+        """With alignment, the pivot column A(i,k) is read locally —
+        no column broadcast."""
+        compiled = compile_source(dgefa_source(n=64, procs=4), CompilerOptions())
+        pivot_reads = [
+            e
+            for e in compiled.comm.events
+            if e.ref.symbol.name == "A"
+            and "K" in str(e.ref)
+            and e.stmt.nesting_level == 2  # inside the maxloc i loop
+        ]
+        assert not pivot_reads
+
+    def test_default_broadcasts_pivot_column(self):
+        compiled = compile_source(
+            dgefa_source(n=64, procs=4), CompilerOptions(align_reductions=False)
+        )
+        maxloc_events = [
+            e
+            for e in compiled.comm.events
+            if e.ref.symbol.name == "A" and e.pattern.kind in ("broadcast", "general")
+        ]
+        assert maxloc_events
+
+    def test_no_combine_needed_when_confined(self):
+        """The reduction spans no grid dimension (rows are collapsed):
+        no allreduce events."""
+        compiled = compile_source(dgefa_source(n=64, procs=4), CompilerOptions())
+        assert not compiled.comm.reduces
+
+
+class TestTable2Shape:
+    @pytest.fixture(scope="class")
+    def times(self):
+        out = {}
+        for align in (False, True):
+            for procs in (2, 4, 8, 16):
+                compiled = compile_source(
+                    dgefa_source(n=500, procs=procs),
+                    CompilerOptions(align_reductions=align),
+                )
+                out[align, procs] = PerfEstimator(compiled).estimate().total_time
+        return out
+
+    def test_alignment_wins_at_scale(self, times):
+        for procs in (8, 16):
+            assert times[True, procs] < times[False, procs]
+
+    def test_both_versions_speed_up(self, times):
+        assert times[True, 16] < times[True, 2]
+        assert times[False, 16] < times[False, 2]
+
+    def test_gap_grows_relatively(self, times):
+        """The replicated reduction's overhead is an increasing share of
+        the runtime as P grows (paper's observation)."""
+        rel2 = (times[False, 2] - times[True, 2]) / times[True, 2]
+        rel16 = (times[False, 16] - times[True, 16]) / times[True, 16]
+        assert rel16 > rel2

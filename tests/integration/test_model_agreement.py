@@ -1,0 +1,118 @@
+"""Cross-validation: the analytic estimator and the machine simulator
+must agree on the *ordering* of compiler strategies (the property the
+paper's tables rest on)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompilerOptions, compile_source
+from repro.machine import simulate
+from repro.perf import PerfEstimator
+from repro.programs import (
+    dgefa_inputs,
+    dgefa_source,
+    tomcatv_inputs,
+    tomcatv_source,
+)
+
+
+def measure_both(src, inputs, **opts):
+    compiled = compile_source(src, CompilerOptions(**opts))
+    est = PerfEstimator(compiled).estimate().total_time
+    sim = simulate(compiled, inputs).elapsed
+    return est, sim
+
+
+class TestStrategyOrderingAgreement:
+    def test_tomcatv_selected_beats_replication_in_both_models(self):
+        src = tomcatv_source(n=12, niter=2, procs=4)
+        inputs = tomcatv_inputs(12)
+        est_sel, sim_sel = measure_both(src, inputs, strategy="selected")
+        est_rep, sim_rep = measure_both(src, inputs, strategy="replication")
+        assert est_sel < est_rep
+        assert sim_sel < sim_rep
+
+    def test_tomcatv_selected_beats_producer_in_both_models(self):
+        src = tomcatv_source(n=12, niter=2, procs=4)
+        inputs = tomcatv_inputs(12)
+        est_sel, sim_sel = measure_both(src, inputs, strategy="selected")
+        est_pro, sim_pro = measure_both(src, inputs, strategy="producer")
+        assert est_sel < est_pro
+        assert sim_sel < sim_pro
+
+    def test_dgefa_models_agree_on_ordering(self):
+        """At n=16 the latency-dominated regime actually favours the
+        replicated maxloc (fewer small messages); what matters is that
+        the analytic estimator and the simulator *agree* — the
+        alignment win of Table 2 appears at the paper's n=1000."""
+        src = dgefa_source(n=16, procs=4)
+        inputs = dgefa_inputs(16)
+        est_al, sim_al = measure_both(src, inputs, align_reductions=True)
+        est_de, sim_de = measure_both(src, inputs, align_reductions=False)
+        assert (est_al < est_de) == (sim_al < sim_de)
+
+    def test_dgefa_estimator_tracks_simulator_closely(self):
+        """On DGEFA the two performance models land within ~30% of each
+        other — the analytic model is not a separate fiction."""
+        src = dgefa_source(n=24, procs=4)
+        inputs = dgefa_inputs(24)
+        for align in (True, False):
+            est, sim = measure_both(src, inputs, align_reductions=align)
+            assert 0.5 < est / sim < 2.0
+
+    def test_message_combining_helps_in_both_models(self):
+        src = tomcatv_source(n=12, niter=2, procs=4)
+        inputs = tomcatv_inputs(12)
+        est_plain, sim_plain = measure_both(src, inputs)
+        est_comb, sim_comb = measure_both(src, inputs, combine_messages=True)
+        assert est_comb <= est_plain
+        assert sim_comb <= sim_plain
+
+
+class TestMessageAccounting:
+    """The simulator's traffic must be fully explained by the static
+    analysis under every configuration of every benchmark — the central
+    cross-validation invariant."""
+
+    @pytest.mark.parametrize("strategy", ["selected", "producer", "replication", "noalign", "consumer"])
+    def test_tomcatv_all_fetches_analyzed(self, strategy):
+        src = tomcatv_source(n=8, niter=1, procs=4)
+        compiled = compile_source(src, CompilerOptions(strategy=strategy))
+        sim = simulate(compiled, tomcatv_inputs(8))
+        assert sim.stats.unexpected_fetches == 0
+
+    @pytest.mark.parametrize("vectorize", [True, False])
+    def test_vectorization_modes_accounted(self, vectorize):
+        src = tomcatv_source(n=8, niter=1, procs=4)
+        compiled = compile_source(
+            src, CompilerOptions(message_vectorization=vectorize)
+        )
+        sim = simulate(compiled, tomcatv_inputs(8))
+        assert sim.stats.unexpected_fetches == 0
+
+
+class TestCloseAgreementAcrossBenchmarks:
+    """Estimator vs simulator magnitudes at validation sizes.
+
+    The two models agree closely when communication is vectorized or
+    collective. For *inner-loop shifts* they intentionally differ: the
+    estimator prices a collective per iteration instance (the 1997
+    compiled-code behaviour the paper's catastrophic columns reflect),
+    while the simulator fetches lazily point-to-point, paying only at
+    block boundaries. The estimator is therefore deliberately the
+    pessimistic/paper-faithful bound for pipelined communication."""
+
+    def test_tomcatv(self):
+        src = tomcatv_source(n=16, niter=2, procs=4)
+        est, sim = measure_both(src, tomcatv_inputs(16))
+        assert 0.4 < est / sim < 2.5
+
+    def test_appsp_estimator_is_pessimistic_bound(self):
+        from repro.programs import appsp_inputs, appsp_source
+
+        src = appsp_source(nx=8, ny=8, nz=8, niter=2, procs=4, distribution="2d")
+        est, sim = measure_both(src, appsp_inputs(8, 8, 8))
+        # 2-D APPSP pipelines its z-sweep: the estimator's
+        # collective-per-iteration pricing bounds the simulator's lazy
+        # point-to-point fetching from above.
+        assert sim <= est <= 10 * sim

@@ -1,0 +1,106 @@
+"""TOMCATV end-to-end: semantics under every strategy + Table 1 shape."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import run_sequential
+from repro.core import AlignedTo, CompilerOptions, ReductionMapping, compile_source
+from repro.ir import ScalarRef, parse_and_build
+from repro.machine import simulate
+from repro.perf import PerfEstimator
+from repro.programs import tomcatv_inputs, tomcatv_source
+
+
+SMALL = dict(n=8, niter=2, procs=4)
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    src = tomcatv_source(**SMALL)
+    return run_sequential(parse_and_build(src), tomcatv_inputs(8))
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("strategy", ["selected", "producer", "replication", "noalign"])
+    def test_simulation_matches_sequential(self, sequential, strategy):
+        src = tomcatv_source(**SMALL)
+        compiled = compile_source(src, CompilerOptions(strategy=strategy))
+        sim = simulate(compiled, tomcatv_inputs(8))
+        for name in ("X", "Y", "RX", "RY", "AA", "DD"):
+            assert np.allclose(sim.gather(name), sequential.get_array(name)), name
+        assert sim.stats.unexpected_fetches == 0
+
+    def test_grid_sizes(self, sequential):
+        for procs in (1, 2, 8):
+            src = tomcatv_source(n=8, niter=2, procs=procs)
+            sim = simulate(compile_source(src, CompilerOptions()), tomcatv_inputs(8))
+            assert np.allclose(sim.gather("X"), sequential.get_array("X"))
+
+
+class TestMappingDecisions:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        return compile_source(tomcatv_source(n=64, niter=2, procs=4), CompilerOptions())
+
+    def test_stencil_scalars_aligned_with_consumers(self, compiled):
+        names = {"XX", "YX", "XY", "YY", "A", "B", "C", "PXX", "QXY"}
+        for stmt in compiled.proc.assignments():
+            if isinstance(stmt.lhs, ScalarRef) and stmt.lhs.symbol.name in names:
+                mapping = compiled.scalar_mapping_of(stmt.stmt_id)
+                assert isinstance(mapping, AlignedTo), (stmt, mapping)
+                assert mapping.is_consumer, (stmt, mapping)
+
+    def test_residual_reductions_mapped(self, compiled):
+        names = {"RXM", "RYM"}
+        found = 0
+        for stmt in compiled.proc.assignments():
+            if isinstance(stmt.lhs, ScalarRef) and stmt.lhs.symbol.name in names:
+                mapping = compiled.scalar_mapping_of(stmt.stmt_id)
+                assert isinstance(mapping, ReductionMapping)
+                found += 1
+        assert found >= 2
+
+    def test_no_inner_loop_comm_under_selected(self, compiled):
+        assert not compiled.comm.inner_loop_events()
+
+    def test_producer_creates_inner_loop_comm(self):
+        compiled = compile_source(
+            tomcatv_source(n=64, niter=2, procs=4),
+            CompilerOptions(strategy="producer"),
+        )
+        assert compiled.comm.inner_loop_events()
+
+
+class TestTable1Shape:
+    """The qualitative claims of paper Table 1."""
+
+    @pytest.fixture(scope="class")
+    def times(self):
+        out = {}
+        for strategy in ("replication", "producer", "selected"):
+            for procs in (1, 4, 16):
+                compiled = compile_source(
+                    tomcatv_source(n=257, niter=3, procs=procs),
+                    CompilerOptions(strategy=strategy),
+                )
+                out[strategy, procs] = PerfEstimator(compiled).estimate().total_time
+        return out
+
+    def test_selected_speeds_up(self, times):
+        assert times["selected", 4] < times["selected", 1]
+        assert times["selected", 16] < times["selected", 4]
+
+    def test_replication_never_speeds_up(self, times):
+        assert times["replication", 4] >= times["replication", 1]
+        assert times["replication", 16] >= times["replication", 4]
+
+    def test_producer_never_speeds_up(self, times):
+        assert times["producer", 16] >= 0.5 * times["producer", 1]
+
+    def test_selected_beats_baselines_at_16(self, times):
+        assert times["selected", 16] < times["replication", 16]
+        assert times["selected", 16] < times["producer", 16]
+
+    def test_two_orders_of_magnitude(self, times):
+        worst = max(times["replication", 16], times["producer", 16])
+        assert worst / times["selected", 16] > 100

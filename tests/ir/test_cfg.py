@@ -1,0 +1,108 @@
+"""CFG construction tests."""
+
+from repro.ir import AssignStmt, GotoStmt, IfStmt, LoopStmt, build_cfg, parse_and_build
+
+
+def build(body, decls="  REAL A(10), B(10)\n"):
+    proc = parse_and_build(f"PROGRAM T\n{decls}{body}\nEND PROGRAM\n")
+    return proc, build_cfg(proc)
+
+
+class TestStraightLine:
+    def test_entry_to_exit_chain(self):
+        proc, cfg = build("  A(1) = 0.0\n  A(2) = 1.0")
+        assert cfg.entry.succs[0].stmt is proc.body[0]
+        last = cfg.node_of(proc.body[1])
+        assert cfg.exit in last.succs
+
+    def test_all_statements_have_nodes(self):
+        proc, cfg = build("  A(1) = 0.0\n  A(2) = 1.0\n  A(3) = 2.0")
+        for stmt in proc.all_stmts():
+            assert cfg.node_of(stmt) is not None
+
+
+class TestLoops:
+    def test_loop_back_edge(self):
+        proc, cfg = build("  DO i = 1, 3\n    A(i) = 0.0\n  END DO")
+        loop = proc.body[0]
+        header = cfg.node_of(loop)
+        body_node = cfg.node_of(loop.body[0])
+        assert body_node in header.succs
+        assert header in body_node.succs  # back edge
+
+    def test_loop_exit_edge(self):
+        proc, cfg = build("  DO i = 1, 3\n    A(i) = 0.0\n  END DO\n  A(1) = 9.0")
+        header = cfg.node_of(proc.body[0])
+        after = cfg.node_of(proc.body[1])
+        assert after in header.succs
+
+    def test_empty_loop_self_edge(self):
+        proc, cfg = build("  DO i = 1, 3\n  END DO")
+        header = cfg.node_of(proc.body[0])
+        assert header in header.succs
+
+    def test_nested_loop_structure(self):
+        proc, cfg = build(
+            "  DO i = 1, 2\n    DO j = 1, 2\n      A(i) = 0.0\n    END DO\n  END DO"
+        )
+        outer, inner = list(proc.loops())
+        inner_node = cfg.node_of(inner)
+        body_node = cfg.node_of(inner.body[0])
+        assert body_node in inner_node.succs
+        # inner exit returns to outer header
+        assert cfg.node_of(outer) in inner_node.succs
+
+
+class TestBranches:
+    def test_if_two_successors(self):
+        proc, cfg = build(
+            "  IF (A(1) > 0.0) THEN\n    A(1) = 1.0\n  ELSE\n    A(2) = 2.0\n  END IF"
+        )
+        node = cfg.node_of(proc.body[0])
+        assert len(node.succs) == 2
+
+    def test_if_join(self):
+        proc, cfg = build(
+            "  IF (A(1) > 0.0) THEN\n    A(1) = 1.0\n  END IF\n  A(3) = 3.0"
+        )
+        if_stmt = proc.body[0]
+        join = cfg.node_of(proc.body[1])
+        then_node = cfg.node_of(if_stmt.then_body[0])
+        assert join in then_node.succs
+        assert join in cfg.node_of(if_stmt).succs  # empty else goes direct
+
+    def test_goto_edge(self):
+        proc, cfg = build("  DO i = 1, 3\n    GO TO 10\n    A(i) = 0.0\n10 CONTINUE\n  END DO")
+        loop = proc.body[0]
+        goto = loop.body[0]
+        target = loop.body[2]
+        assert cfg.node_of(target) in cfg.node_of(goto).succs
+
+    def test_stop_goes_to_exit(self):
+        proc, cfg = build("  STOP\n  A(1) = 1.0")
+        stop_node = cfg.node_of(proc.body[0])
+        assert cfg.exit in stop_node.succs
+
+    def test_unreachable_after_goto(self):
+        proc, cfg = build("  DO i = 1, 3\n    GO TO 10\n    A(i) = 0.0\n10 CONTINUE\n  END DO")
+        loop = proc.body[0]
+        dead = cfg.node_of(loop.body[1])
+        assert dead.index not in cfg.reachable()
+
+
+class TestOrdering:
+    def test_reverse_postorder_starts_at_entry(self):
+        proc, cfg = build("  DO i = 1, 3\n    A(i) = 0.0\n  END DO")
+        order = cfg.reverse_postorder()
+        assert order[0] is cfg.entry
+
+    def test_rpo_headers_before_bodies(self):
+        proc, cfg = build("  DO i = 1, 3\n    A(i) = 0.0\n  END DO")
+        order = cfg.reverse_postorder()
+        loop = proc.body[0]
+        assert order.index(cfg.node_of(loop)) < order.index(cfg.node_of(loop.body[0]))
+
+    def test_dump_mentions_all_nodes(self):
+        proc, cfg = build("  A(1) = 1.0")
+        text = cfg.dump()
+        assert "ENTRY" in text and "EXIT" in text

@@ -1,0 +1,145 @@
+"""IR expression and affine-form tests."""
+
+from repro.ir import (
+    ArrayElemRef,
+    BinOp,
+    Const,
+    ScalarRef,
+    Symbol,
+    SymbolKind,
+    ScalarType,
+    UnOp,
+    affine_form,
+    clone_expr,
+    substitute_scalar,
+)
+
+
+def int_scalar(name):
+    return Symbol(name=name, kind=SymbolKind.SCALAR, type=ScalarType.INT)
+
+
+def real_scalar(name):
+    return Symbol(name=name, kind=SymbolKind.SCALAR, type=ScalarType.REAL)
+
+
+I = int_scalar("I")
+J = int_scalar("J")
+
+
+def ref(sym):
+    return ScalarRef(symbol=sym)
+
+
+class TestAffineForm:
+    def test_constant(self):
+        form = affine_form(Const(value=7))
+        assert form.is_constant and form.const == 7
+
+    def test_single_variable(self):
+        form = affine_form(ref(I))
+        assert form.coeff(I) == 1 and form.const == 0
+
+    def test_sum_with_constant(self):
+        form = affine_form(BinOp(op="+", left=ref(I), right=Const(value=3)))
+        assert form.coeff(I) == 1 and form.const == 3
+
+    def test_subtraction(self):
+        expr = BinOp(op="-", left=ref(I), right=ref(J))
+        form = affine_form(expr)
+        assert form.coeff(I) == 1 and form.coeff(J) == -1
+
+    def test_scaling(self):
+        expr = BinOp(op="*", left=Const(value=2), right=ref(I))
+        form = affine_form(expr)
+        assert form.coeff(I) == 2
+
+    def test_nested_affine(self):
+        # 2*(i + 1) - j  ==  2i - j + 2
+        inner = BinOp(op="+", left=ref(I), right=Const(value=1))
+        expr = BinOp(op="-", left=BinOp(op="*", left=Const(value=2), right=inner), right=ref(J))
+        form = affine_form(expr)
+        assert form.coeff(I) == 2 and form.coeff(J) == -1 and form.const == 2
+
+    def test_unary_minus(self):
+        form = affine_form(UnOp(op="-", operand=ref(I)))
+        assert form.coeff(I) == -1
+
+    def test_bilinear_rejected(self):
+        expr = BinOp(op="*", left=ref(I), right=ref(J))
+        assert affine_form(expr) is None
+
+    def test_real_scalar_rejected(self):
+        expr = ref(real_scalar("X"))
+        assert affine_form(expr) is None
+
+    def test_real_constant_rejected(self):
+        assert affine_form(Const(value=1.5)) is None
+
+    def test_array_ref_rejected(self):
+        arr = Symbol(name="A", kind=SymbolKind.ARRAY, type=ScalarType.INT, dims=((1, 4),))
+        expr = ArrayElemRef(symbol=arr, subscripts=[Const(value=1)])
+        assert affine_form(expr) is None
+
+    def test_exact_integer_division(self):
+        # (4*i + 8) / 4 == i + 2
+        num = BinOp(op="+", left=BinOp(op="*", left=Const(value=4), right=ref(I)), right=Const(value=8))
+        expr = BinOp(op="/", left=num, right=Const(value=4))
+        form = affine_form(expr)
+        assert form.coeff(I) == 1 and form.const == 2
+
+    def test_inexact_division_rejected(self):
+        expr = BinOp(op="/", left=ref(I), right=Const(value=2))
+        assert affine_form(expr) is None
+
+    def test_zero_coefficients_dropped(self):
+        # i - i == 0
+        expr = BinOp(op="-", left=ref(I), right=ref(I))
+        form = affine_form(expr)
+        assert form.is_constant and form.const == 0
+
+    def test_coeff_of_absent_symbol(self):
+        form = affine_form(ref(I))
+        assert form.coeff(J) == 0
+
+
+class TestRefIdentity:
+    def test_unique_ref_ids(self):
+        a, b = ref(I), ref(I)
+        assert a.ref_id != b.ref_id
+
+    def test_refs_iteration_includes_subscript_refs(self):
+        arr = Symbol(name="A", kind=SymbolKind.ARRAY, type=ScalarType.REAL, dims=((1, 4),))
+        inner = ref(I)
+        expr = ArrayElemRef(symbol=arr, subscripts=[inner])
+        refs = list(expr.refs())
+        assert refs[0] is expr
+        assert refs[1] is inner
+
+
+class TestSubstitution:
+    def test_substitute_scalar(self):
+        target = BinOp(op="+", left=ref(I), right=ref(J))
+        replacement = BinOp(op="+", left=ref(J), right=Const(value=1))
+        out = substitute_scalar(target, I, replacement)
+        form = affine_form(out)
+        assert form.coeff(J) == 2 and form.const == 1
+
+    def test_substitute_fresh_ref_ids(self):
+        replacement = ref(J)
+        out1 = substitute_scalar(ref(I), I, replacement)
+        out2 = substitute_scalar(ref(I), I, replacement)
+        assert out1.ref_id != out2.ref_id
+
+    def test_substitute_inside_subscripts(self):
+        arr = Symbol(name="A", kind=SymbolKind.ARRAY, type=ScalarType.REAL, dims=((1, 4),))
+        expr = ArrayElemRef(symbol=arr, subscripts=[ref(I)])
+        out = substitute_scalar(expr, I, Const(value=3))
+        assert isinstance(out.subscripts[0], Const)
+
+    def test_clone_deep(self):
+        expr = BinOp(op="*", left=ref(I), right=ref(J))
+        cloned = clone_expr(expr)
+        assert cloned is not expr
+        assert cloned.left.ref_id != expr.left.ref_id
+        assert str(cloned) == str(expr)

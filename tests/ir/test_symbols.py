@@ -1,0 +1,76 @@
+"""Symbol table tests."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.ir import ScalarType, Symbol, SymbolKind, SymbolTable, implicit_type
+
+
+class TestImplicitTyping:
+    @pytest.mark.parametrize("name", ["i", "J", "k", "l", "M", "n", "idx", "nmax"])
+    def test_integer_names(self, name):
+        assert implicit_type(name) is ScalarType.INT
+
+    @pytest.mark.parametrize("name", ["a", "x", "Y", "h2o", "omega", "t"])
+    def test_real_names(self, name):
+        assert implicit_type(name) is ScalarType.REAL
+
+
+class TestSymbol:
+    def test_array_extent_and_size(self):
+        s = Symbol(name="A", kind=SymbolKind.ARRAY, type=ScalarType.REAL,
+                   dims=((1, 10), (0, 4)))
+        assert s.rank == 2
+        assert s.extent(0) == 10
+        assert s.extent(1) == 5
+        assert s.size() == 50
+
+    def test_scalar_properties(self):
+        s = Symbol(name="X", kind=SymbolKind.SCALAR, type=ScalarType.REAL)
+        assert s.is_scalar and not s.is_array
+        assert s.rank == 0
+
+
+class TestSymbolTable:
+    def test_declare_and_lookup(self):
+        table = SymbolTable()
+        s = table.declare(Symbol(name="A", kind=SymbolKind.ARRAY,
+                                 type=ScalarType.REAL, dims=((1, 4),)))
+        assert table.lookup("a") is s
+        assert table.lookup("A") is s
+
+    def test_duplicate_rejected(self):
+        table = SymbolTable()
+        table.declare(Symbol(name="X", kind=SymbolKind.SCALAR, type=ScalarType.REAL))
+        with pytest.raises(SemanticError):
+            table.declare(Symbol(name="x", kind=SymbolKind.SCALAR, type=ScalarType.REAL))
+
+    def test_resolve_scalar_implicit(self):
+        table = SymbolTable()
+        s = table.resolve_scalar("count")
+        assert s.type is ScalarType.REAL  # 'c' is not in I-N
+        i = table.resolve_scalar("i")
+        assert i.type is ScalarType.INT
+
+    def test_resolve_scalar_idempotent(self):
+        table = SymbolTable()
+        assert table.resolve_scalar("q") is table.resolve_scalar("Q")
+
+    def test_require_missing(self):
+        table = SymbolTable()
+        with pytest.raises(SemanticError):
+            table.require("nope")
+
+    def test_arrays_and_scalars_listing(self):
+        table = SymbolTable()
+        table.declare(Symbol(name="A", kind=SymbolKind.ARRAY,
+                             type=ScalarType.REAL, dims=((1, 2),)))
+        table.resolve_scalar("x")
+        assert [s.name for s in table.arrays()] == ["A"]
+        assert [s.name for s in table.scalars()] == ["X"]
+
+    def test_contains_and_len(self):
+        table = SymbolTable()
+        table.resolve_scalar("v")
+        assert "V" in table and "v" in table
+        assert len(table) == 1

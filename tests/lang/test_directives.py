@@ -1,0 +1,116 @@
+"""HPF directive parsing tests."""
+
+import pytest
+
+from repro.errors import DirectiveError
+from repro.lang import ast_nodes as ast
+from repro.lang import parse_directive
+
+
+class TestProcessors:
+    def test_one_dim(self):
+        d = parse_directive("PROCESSORS P(16)")
+        assert isinstance(d, ast.ProcessorsDirective)
+        assert d.name == "P"
+        assert len(d.shape) == 1
+
+    def test_two_dim(self):
+        d = parse_directive("PROCESSORS GRID(4, 4)")
+        assert len(d.shape) == 2
+
+
+class TestDistribute:
+    def test_colon_list_form(self):
+        d = parse_directive("DISTRIBUTE (BLOCK, *) :: A, B")
+        assert isinstance(d, ast.DistributeDirective)
+        assert [f.kind for f in d.formats] == ["BLOCK", "*"]
+        assert d.targets == ["A", "B"]
+
+    def test_attributed_form(self):
+        d = parse_directive("DISTRIBUTE H(BLOCK, CYCLIC)")
+        assert d.targets == ["H"]
+        assert [f.kind for f in d.formats] == ["BLOCK", "CYCLIC"]
+
+    def test_cyclic_with_chunk(self):
+        d = parse_directive("DISTRIBUTE (CYCLIC(4)) :: A")
+        assert d.formats[0].arg.value == 4
+
+    def test_onto_clause(self):
+        d = parse_directive("DISTRIBUTE (BLOCK) ONTO P :: A")
+        assert d.onto == "P"
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(DirectiveError):
+            parse_directive("DISTRIBUTE (WEIRD) :: A")
+
+    def test_no_targets_rejected(self):
+        with pytest.raises(DirectiveError):
+            parse_directive("DISTRIBUTE (BLOCK)")
+
+
+class TestAlign:
+    def test_named_source(self):
+        d = parse_directive("ALIGN B(i) WITH A(i)")
+        assert isinstance(d, ast.AlignDirective)
+        assert d.source_name == "B"
+        assert d.target_name == "A"
+        assert d.source_subs[0].dummy == "I"
+
+    def test_star_target_sub(self):
+        d = parse_directive("ALIGN B(i) WITH A(i, *)")
+        assert d.target_subs[1] is None
+
+    def test_dummy_list_form(self):
+        d = parse_directive("ALIGN (i) WITH A(i) :: B, C, D")
+        assert d.source_name is None
+        assert d.extra_targets == ["B", "C", "D"]
+
+    def test_dummy_list_without_targets_rejected(self):
+        with pytest.raises(DirectiveError):
+            parse_directive("ALIGN (i) WITH A(i)")
+
+    def test_affine_target_sub(self):
+        d = parse_directive("ALIGN B(i) WITH A(2*i + 1)")
+        expr = d.target_subs[0]
+        assert isinstance(expr, ast.BinOp)
+
+    def test_colon_subscripts(self):
+        d = parse_directive("ALIGN (:) WITH A(:) :: B")
+        assert d.source_subs[0].dummy == ":"
+
+    def test_multi_dim(self):
+        d = parse_directive("ALIGN G(i, j) WITH H(i, j)")
+        assert len(d.source_subs) == 2
+        assert len(d.target_subs) == 2
+
+    def test_missing_with_rejected(self):
+        with pytest.raises(DirectiveError):
+            parse_directive("ALIGN B(i) A(i)")
+
+
+class TestIndependent:
+    def test_bare(self):
+        d = parse_directive("INDEPENDENT")
+        assert isinstance(d, ast.IndependentDirective)
+        assert not d.new_vars
+
+    def test_new_clause(self):
+        d = parse_directive("INDEPENDENT, NEW(C, D)")
+        assert d.new_vars == ["C", "D"]
+
+    def test_reduction_clause(self):
+        d = parse_directive("INDEPENDENT, REDUCTION(S)")
+        assert d.reduction_vars == ["S"]
+
+    def test_both_clauses(self):
+        d = parse_directive("INDEPENDENT, NEW(C), REDUCTION(S)")
+        assert d.new_vars == ["C"] and d.reduction_vars == ["S"]
+
+    def test_unknown_clause_rejected(self):
+        with pytest.raises(DirectiveError):
+            parse_directive("INDEPENDENT, BOGUS(X)")
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(DirectiveError):
+        parse_directive("TEMPLATE T(100)")

@@ -1,0 +1,196 @@
+"""Automatic procedure inlining tests (paper: "procedure-inlining by
+hand" — automated here)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import run_sequential
+from repro.errors import ParseError, SemanticError
+from repro.ir import parse_and_build
+from repro.lang import parse_program
+from repro.lang.inline import inline_calls
+
+
+BASIC = """
+PROGRAM MAIN
+  PARAMETER (n = 8)
+  REAL A(n), B(n)
+  DO i = 1, n
+    A(i) = i
+  END DO
+  CALL SCALE(A, B)
+END PROGRAM
+
+SUBROUTINE SCALE(X, Y)
+  PARAMETER (n = 8)
+  REAL X(n), Y(n)
+  REAL f
+  f = 2.0
+  DO j = 1, n
+    Y(j) = X(j) * f
+  END DO
+END SUBROUTINE
+"""
+
+
+class TestParsing:
+    def test_subroutine_parsed(self):
+        program = parse_program(BASIC)
+        assert len(program.subroutines) == 1
+        sub = program.subroutines[0]
+        assert sub.name == "SCALE"
+        assert sub.params == ["X", "Y"]
+
+    def test_multiple_subroutines(self):
+        src = BASIC + "\nSUBROUTINE NOOP()\n  CONTINUE\nEND SUBROUTINE\n"
+        program = parse_program(src)
+        assert [s.name for s in program.subroutines] == ["SCALE", "NOOP"]
+
+    def test_directives_in_subroutine_rejected(self):
+        src = (
+            "PROGRAM M\n  REAL A(4)\nEND PROGRAM\n"
+            "SUBROUTINE S(X)\n  REAL X(4)\n"
+            "!HPF$ DISTRIBUTE (BLOCK) :: X\n"
+            "  X(1) = 0.0\nEND SUBROUTINE\n"
+        )
+        with pytest.raises(ParseError):
+            parse_program(src)
+
+
+class TestInlining:
+    def test_call_replaced_by_body(self):
+        program = inline_calls(parse_program(BASIC))
+        assert not program.subroutines
+        from repro.lang import ast_nodes as ast
+
+        assert not any(
+            isinstance(s, ast.Call) for s in ast.walk_stmts(program.body)
+        )
+
+    def test_formals_substituted(self):
+        program = inline_calls(parse_program(BASIC))
+        text = "\n".join(str(s) for s in program.body)
+        proc = parse_and_build(BASIC)
+        names = {s.name for s in proc.symbols}
+        assert "A" in names and "B" in names
+        assert "X" not in names and "Y" not in names
+
+    def test_locals_renamed_with_implicit_type_preserved(self):
+        proc = parse_and_build(BASIC)
+        f_local = proc.symbols.lookup("F__SCALE")
+        j_local = proc.symbols.lookup("J__SCALE")
+        assert f_local is not None and j_local is not None
+        from repro.ir import ScalarType
+
+        assert f_local.type is ScalarType.REAL
+        assert j_local.type is ScalarType.INT
+
+    def test_semantics(self):
+        store = run_sequential(parse_and_build(BASIC), {})
+        assert list(store.get_array("B")) == [2.0 * i for i in range(1, 9)]
+
+    def test_two_calls_no_collision(self):
+        src = BASIC.replace("  CALL SCALE(A, B)", "  CALL SCALE(A, B)\n  CALL SCALE(B, A)")
+        store = run_sequential(parse_and_build(src), {})
+        assert list(store.get_array("A")) == [4.0 * i for i in range(1, 9)]
+
+    def test_nested_calls(self):
+        src = (
+            "PROGRAM M\n  PARAMETER (n = 4)\n  REAL A(n)\n"
+            "  CALL OUTER(A)\nEND PROGRAM\n"
+            "SUBROUTINE OUTER(X)\n  PARAMETER (n = 4)\n  REAL X(n)\n"
+            "  CALL INNER(X)\n  X(1) = X(1) + 1.0\nEND SUBROUTINE\n"
+            "SUBROUTINE INNER(Y)\n  PARAMETER (n = 4)\n  REAL Y(n)\n"
+            "  DO i = 1, n\n    Y(i) = 5.0\n  END DO\nEND SUBROUTINE\n"
+        )
+        store = run_sequential(parse_and_build(src), {})
+        assert store.get_array("A")[0] == 6.0
+        assert store.get_array("A")[1] == 5.0
+
+    def test_labels_renumbered(self):
+        src = (
+            "PROGRAM M\n  PARAMETER (n = 4)\n  REAL A(n)\n"
+            "  GO TO 10\n10 CONTINUE\n"
+            "  CALL S(A)\n  CALL S(A)\nEND PROGRAM\n"
+            "SUBROUTINE S(X)\n  PARAMETER (n = 4)\n  REAL X(n)\n"
+            "  DO i = 1, n\n    IF (X(i) > 1.0) GO TO 10\n"
+            "    X(i) = X(i) + 1.0\n10 CONTINUE\n  END DO\nEND SUBROUTINE\n"
+        )
+        # duplicate labels would make build_procedure raise
+        store = run_sequential(parse_and_build(src), {})
+        assert store.get_array("A")[0] == 2.0
+
+    def test_recursion_rejected(self):
+        src = (
+            "PROGRAM M\n  REAL A(4)\n  CALL S(A)\nEND PROGRAM\n"
+            "SUBROUTINE S(X)\n  REAL X(4)\n  CALL S(X)\nEND SUBROUTINE\n"
+        )
+        with pytest.raises(SemanticError):
+            parse_and_build(src)
+
+    def test_argument_count_checked(self):
+        src = (
+            "PROGRAM M\n  REAL A(4)\n  CALL S(A, A)\nEND PROGRAM\n"
+            "SUBROUTINE S(X)\n  REAL X(4)\n  X(1) = 0.0\nEND SUBROUTINE\n"
+        )
+        with pytest.raises(SemanticError):
+            parse_and_build(src)
+
+    def test_expression_argument_rejected(self):
+        src = (
+            "PROGRAM M\n  REAL A(4)\n  CALL S(A(1) + 1.0)\nEND PROGRAM\n"
+            "SUBROUTINE S(X)\n  REAL X\n  X = 0.0\nEND SUBROUTINE\n"
+        )
+        with pytest.raises(SemanticError):
+            parse_and_build(src)
+
+    def test_unknown_subroutine_left_alone(self):
+        src = "PROGRAM M\n  REAL A(4)\n  CALL EXTERN(A)\nEND PROGRAM\n"
+        program = parse_program(src)
+        inlined = inline_calls(program)
+        from repro.lang import ast_nodes as ast
+
+        assert any(isinstance(s, ast.Call) for s in inlined.body)
+
+
+class TestModularDgefa:
+    """The paper's exact use case: LINPACK DGEFA with BLAS calls."""
+
+    def test_matches_hand_inlined_version(self):
+        from repro.programs import dgefa_inputs, dgefa_modular_source, dgefa_source
+
+        inputs = dgefa_inputs(8)
+        hand = run_sequential(parse_and_build(dgefa_source(n=8, procs=4)), inputs)
+        auto = run_sequential(
+            parse_and_build(dgefa_modular_source(n=8, procs=4)), inputs
+        )
+        assert np.allclose(auto.get_array("A"), hand.get_array("A"))
+        assert np.allclose(auto.get_array("AMD"), hand.get_array("AMD"))
+
+    def test_reduction_survives_inlining(self):
+        from repro.core import CompilerOptions, ReductionMapping, compile_source
+        from repro.ir import ScalarRef
+        from repro.programs import dgefa_modular_source
+
+        compiled = compile_source(
+            dgefa_modular_source(n=32, procs=4), CompilerOptions()
+        )
+        kinds = set()
+        for stmt in compiled.proc.assignments():
+            if isinstance(stmt.lhs, ScalarRef) and stmt.lhs.symbol.name == "PMAX":
+                kinds.add(type(compiled.scalar_mapping_of(stmt.stmt_id)))
+        assert kinds == {ReductionMapping}
+
+    def test_parallel_execution(self):
+        from repro.core import CompilerOptions, compile_source
+        from repro.machine import simulate
+        from repro.programs import dgefa_inputs, dgefa_modular_source, dgefa_source
+
+        inputs = dgefa_inputs(8)
+        hand = run_sequential(parse_and_build(dgefa_source(n=8, procs=4)), inputs)
+        sim = simulate(
+            compile_source(dgefa_modular_source(n=8, procs=4), CompilerOptions()),
+            inputs,
+        )
+        assert np.allclose(sim.gather("A"), hand.get_array("A"))
+        assert sim.stats.unexpected_fetches == 0

@@ -1,0 +1,164 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang import TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+def values(source):
+    return [t.value for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+class TestBasicTokens:
+    def test_identifiers_uppercased(self):
+        toks = tokenize("abc Xy_9")
+        assert toks[0].value == "ABC"
+        assert toks[1].value == "XY_9"
+
+    def test_integer_literal(self):
+        tok = tokenize("12345")[0]
+        assert tok.kind is TokenKind.INT
+        assert tok.value == "12345"
+
+    def test_real_literal_simple(self):
+        tok = tokenize("3.25")[0]
+        assert tok.kind is TokenKind.REAL
+
+    def test_real_literal_exponent(self):
+        tok = tokenize("1.5e-3")[0]
+        assert tok.kind is TokenKind.REAL
+        assert tok.value == "1.5E-3"
+
+    def test_real_literal_d_exponent(self):
+        tok = tokenize("2.0d0")[0]
+        assert tok.kind is TokenKind.REAL
+        assert tok.value == "2.0E0"
+
+    def test_integer_then_exponent_form(self):
+        tok = tokenize("2e3")[0]
+        assert tok.kind is TokenKind.REAL
+
+    def test_real_starting_with_dot(self):
+        tok = tokenize(".5")[0]
+        assert tok.kind is TokenKind.REAL
+        assert float(tok.value) == 0.5
+
+    def test_string_literal(self):
+        toks = tokenize("'hello'")
+        assert toks[0].kind is TokenKind.STRING
+        assert toks[0].value == "hello"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            ("**", TokenKind.POWER),
+            ("::", TokenKind.DCOLON),
+            ("==", TokenKind.EQ),
+            ("/=", TokenKind.NE),
+            ("<=", TokenKind.LE),
+            (">=", TokenKind.GE),
+            ("<", TokenKind.LT),
+            (">", TokenKind.GT),
+            ("+", TokenKind.PLUS),
+            ("-", TokenKind.MINUS),
+            ("*", TokenKind.STAR),
+            ("/", TokenKind.SLASH),
+            ("(", TokenKind.LPAREN),
+            (")", TokenKind.RPAREN),
+            (",", TokenKind.COMMA),
+            ("=", TokenKind.ASSIGN),
+            (":", TokenKind.COLON),
+        ],
+    )
+    def test_symbolic_operator(self, text, kind):
+        assert kinds(text) == [kind]
+
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            (".EQ.", TokenKind.EQ),
+            (".ne.", TokenKind.NE),
+            (".Lt.", TokenKind.LT),
+            (".LE.", TokenKind.LE),
+            (".GT.", TokenKind.GT),
+            (".GE.", TokenKind.GE),
+            (".AND.", TokenKind.AND),
+            (".or.", TokenKind.OR),
+            (".NOT.", TokenKind.NOT),
+            (".TRUE.", TokenKind.TRUE),
+            (".false.", TokenKind.FALSE),
+        ],
+    )
+    def test_dot_operator(self, text, kind):
+        assert kinds(text) == [kind]
+
+    def test_dot_operator_after_integer(self):
+        # '1.EQ.2' must lex as INT EQ INT, not REAL.
+        assert kinds("1.EQ.2") == [TokenKind.INT, TokenKind.EQ, TokenKind.INT]
+
+    def test_malformed_dot_operator(self):
+        with pytest.raises(LexError):
+            tokenize(".BOGUS.")
+
+    def test_power_vs_star_star_spaced(self):
+        assert kinds("a ** b") == [TokenKind.IDENT, TokenKind.POWER, TokenKind.IDENT]
+
+
+class TestLinesAndComments:
+    def test_newline_token(self):
+        assert TokenKind.NEWLINE in kinds("a\nb")
+
+    def test_consecutive_newlines_collapse(self):
+        ks = kinds("a\n\n\nb")
+        assert ks.count(TokenKind.NEWLINE) == 1
+
+    def test_comment_stripped(self):
+        assert kinds("a ! a comment\nb") == [
+            TokenKind.IDENT,
+            TokenKind.NEWLINE,
+            TokenKind.IDENT,
+        ]
+
+    def test_directive_token(self):
+        toks = tokenize("!HPF$ DISTRIBUTE (BLOCK) :: A\n")
+        assert toks[0].kind is TokenKind.DIRECTIVE
+        assert toks[0].value == "DISTRIBUTE (BLOCK) :: A"
+
+    def test_directive_case_insensitive_sentinel(self):
+        toks = tokenize("!hpf$ PROCESSORS P(4)")
+        assert toks[0].kind is TokenKind.DIRECTIVE
+
+    def test_continuation(self):
+        ks = kinds("a = b + &\n    c")
+        assert TokenKind.NEWLINE not in ks
+
+    def test_continuation_must_end_line(self):
+        with pytest.raises(LexError):
+            tokenize("a = b & c")
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nbb\nccc")
+        assert [t.line for t in toks[:5]] == [1, 1, 2, 2, 3]
+
+
+class TestDirectiveMode:
+    def test_no_newline_tokens(self):
+        from repro.lang import Lexer
+
+        toks = Lexer("A (BLOCK)\n", directive_mode=True).tokenize()
+        assert all(t.kind is not TokenKind.NEWLINE for t in toks)
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")

@@ -1,0 +1,227 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang import parse_expression, parse_program
+
+
+def parse_body(body, decls="  REAL A(10), B(10)\n  INTEGER i, j, k"):
+    src = f"PROGRAM T\n{decls}\n{body}\nEND PROGRAM\n"
+    return parse_program(src).body
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expression("a + b * c")
+        assert isinstance(e, ast.BinOp) and e.op == "+"
+        assert isinstance(e.right, ast.BinOp) and e.right.op == "*"
+
+    def test_precedence_power_over_mul(self):
+        e = parse_expression("a * b ** c")
+        assert e.op == "*"
+        assert isinstance(e.right, ast.BinOp) and e.right.op == "**"
+
+    def test_power_right_associative(self):
+        e = parse_expression("a ** b ** c")
+        assert e.op == "**"
+        assert isinstance(e.right, ast.BinOp) and e.right.op == "**"
+
+    def test_unary_minus(self):
+        e = parse_expression("-a + b")
+        assert e.op == "+"
+        assert isinstance(e.left, ast.UnOp)
+
+    def test_unary_plus_dropped(self):
+        e = parse_expression("+a")
+        assert isinstance(e, ast.Name)
+
+    def test_parentheses(self):
+        e = parse_expression("(a + b) * c")
+        assert e.op == "*"
+        assert isinstance(e.left, ast.BinOp) and e.left.op == "+"
+
+    def test_relational(self):
+        e = parse_expression("a + 1 .GE. b")
+        assert e.op == ">="
+        assert isinstance(e.left, ast.BinOp)
+
+    def test_logical_precedence(self):
+        e = parse_expression("a < b .AND. c > d .OR. e == f")
+        assert e.op == ".OR."
+        assert e.left.op == ".AND."
+
+    def test_not(self):
+        e = parse_expression(".NOT. a .AND. b")
+        assert e.op == ".AND."
+        assert isinstance(e.left, ast.UnOp) and e.left.op == ".NOT."
+
+    def test_array_reference(self):
+        e = parse_expression("A(i + 1, 2 * j)")
+        assert isinstance(e, ast.ArrayRef)
+        assert len(e.subscripts) == 2
+
+    def test_logical_literals(self):
+        assert parse_expression(".TRUE.").value is True
+        assert parse_expression(".FALSE.").value is False
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + b )")
+
+
+class TestDeclarations:
+    def test_program_name(self):
+        p = parse_program("PROGRAM myname\nEND PROGRAM myname\n")
+        assert p.name == "MYNAME"
+
+    def test_end_name_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_program("PROGRAM a\nEND PROGRAM b\n")
+
+    def test_type_decl_entities(self):
+        p = parse_program("PROGRAM t\nREAL A(5), x\nINTEGER :: n\nEND\n")
+        real = p.decls[0]
+        assert real.type_name == "REAL"
+        assert [e.name for e in real.entities] == ["A", "X"]
+        assert len(real.entities[0].dims) == 1
+
+    def test_dim_spec_bounds(self):
+        p = parse_program("PROGRAM t\nREAL A(0:9, 5)\nEND\n")
+        dims = p.decls[0].entities[0].dims
+        assert dims[0].low.value == 0 and dims[0].high.value == 9
+        assert dims[1].low.value == 1 and dims[1].high.value == 5
+
+    def test_parameter_decl(self):
+        p = parse_program("PROGRAM t\nPARAMETER (n = 10, m = n * 2)\nEND\n")
+        names = [b[0] for b in p.decls[0].bindings]
+        assert names == ["N", "M"]
+
+    def test_dimension_decl(self):
+        p = parse_program("PROGRAM t\nDIMENSION A(4)\nEND\n")
+        assert p.decls[0].type_name == "REAL"
+
+
+class TestStatements:
+    def test_assignment(self):
+        body = parse_body("  A(i) = B(i) + 1.0")
+        assert isinstance(body[0], ast.Assign)
+
+    def test_do_loop(self):
+        body = parse_body("  DO i = 1, 10\n    A(i) = 0.0\n  END DO")
+        loop = body[0]
+        assert isinstance(loop, ast.Do)
+        assert loop.var == "I"
+        assert len(loop.body) == 1
+
+    def test_do_loop_with_step(self):
+        body = parse_body("  DO i = 10, 1, -1\n  END DO")
+        assert body[0].step is not None
+
+    def test_enddo_spelling(self):
+        body = parse_body("  DO i = 1, 2\n  ENDDO")
+        assert isinstance(body[0], ast.Do)
+
+    def test_labeled_do(self):
+        body = parse_body("  DO 10 i = 1, 3\n    A(i) = 1.0\n10 CONTINUE")
+        loop = body[0]
+        assert isinstance(loop, ast.Do)
+        assert isinstance(loop.body[-1], ast.Continue)
+        assert loop.body[-1].label == 10
+
+    def test_unterminated_do(self):
+        with pytest.raises(ParseError):
+            parse_body("  DO i = 1, 2\n    A(i) = 0.0")
+
+    def test_if_block(self):
+        body = parse_body(
+            "  IF (A(1) > 0.0) THEN\n    B(1) = 1.0\n  ELSE\n    B(1) = 2.0\n  END IF"
+        )
+        node = body[0]
+        assert isinstance(node, ast.If)
+        assert len(node.then_body) == 1 and len(node.else_body) == 1
+
+    def test_if_one_liner(self):
+        body = parse_body("  IF (A(1) > 0.0) B(1) = 1.0")
+        node = body[0]
+        assert isinstance(node, ast.If)
+        assert isinstance(node.then_body[0], ast.Assign)
+        assert not node.else_body
+
+    def test_else_if_chain(self):
+        body = parse_body(
+            "  IF (i == 1) THEN\n    A(1) = 1.0\n"
+            "  ELSE IF (i == 2) THEN\n    A(2) = 2.0\n"
+            "  ELSE\n    A(3) = 3.0\n  END IF"
+        )
+        node = body[0]
+        inner = node.else_body[0]
+        assert isinstance(inner, ast.If)
+        assert inner.else_body
+
+    def test_goto_forms(self):
+        body = parse_body("  GO TO 10\n  GOTO 10\n10 CONTINUE")
+        assert isinstance(body[0], ast.Goto)
+        assert isinstance(body[1], ast.Goto)
+        assert body[0].target_label == 10
+
+    def test_stop(self):
+        body = parse_body("  STOP")
+        assert isinstance(body[0], ast.Stop)
+
+    def test_call(self):
+        body = parse_body("  CALL foo(A(1), 2)")
+        node = body[0]
+        assert isinstance(node, ast.Call)
+        assert node.name == "FOO"
+        assert len(node.args) == 2
+
+    def test_nested_loops(self):
+        body = parse_body(
+            "  DO i = 1, 2\n    DO j = 1, 2\n      A(i) = B(j)\n    END DO\n  END DO"
+        )
+        assert isinstance(body[0].body[0], ast.Do)
+
+
+class TestDirectiveAttachment:
+    def test_independent_attaches_to_loop(self):
+        src = (
+            "PROGRAM t\nREAL C(4)\n"
+            "!HPF$ INDEPENDENT, NEW(C)\n"
+            "DO k = 1, 4\n  C(k) = 0.0\nEND DO\nEND\n"
+        )
+        loop = parse_program(src).body[0]
+        assert loop.directive is not None
+        assert loop.directive.new_vars == ["C"]
+
+    def test_independent_without_loop_rejected(self):
+        src = "PROGRAM t\nREAL C(4)\n!HPF$ INDEPENDENT\nC(1) = 0.0\nEND\n"
+        with pytest.raises(ParseError):
+            parse_program(src)
+
+    def test_mapping_directives_collected(self):
+        src = (
+            "PROGRAM t\nREAL A(8)\n"
+            "!HPF$ PROCESSORS P(4)\n"
+            "!HPF$ DISTRIBUTE (BLOCK) :: A\n"
+            "END\n"
+        )
+        p = parse_program(src)
+        assert len(p.directives) == 2
+
+
+class TestWalkHelpers:
+    def test_walk_exprs(self):
+        e = parse_expression("A(i+1) * (b - c)")
+        names = {n.ident for n in ast.walk_exprs(e) if isinstance(n, ast.Name)}
+        assert names == {"I", "B", "C"}
+
+    def test_walk_stmts(self):
+        body = parse_body(
+            "  DO i = 1, 2\n    IF (A(i) > 0.0) THEN\n      B(i) = 1.0\n"
+            "    END IF\n  END DO"
+        )
+        stmts = list(ast.walk_stmts(body))
+        assert any(isinstance(s, ast.Assign) for s in stmts)
+        assert any(isinstance(s, ast.If) for s in stmts)

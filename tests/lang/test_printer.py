@@ -1,0 +1,65 @@
+"""Printer (unparser) round-trip tests."""
+
+from repro.lang import parse_program, print_program
+
+
+SAMPLE = """
+PROGRAM sample
+  PARAMETER (n = 8)
+  REAL A(n), B(n), C(0:7)
+  INTEGER m
+!HPF$ PROCESSORS P(4)
+!HPF$ ALIGN B(i) WITH A(i)
+!HPF$ DISTRIBUTE (BLOCK) :: A
+  m = 2
+  DO i = 2, n - 1
+    IF (B(i) /= 0.0) THEN
+      A(i) = A(i) / B(i)
+    ELSE
+      A(i) = 0.0
+    END IF
+    C(i - 1) = A(i) ** 2
+  END DO
+END PROGRAM
+"""
+
+
+def test_roundtrip_is_stable():
+    """print(parse(print(parse(src)))) == print(parse(src))."""
+    once = print_program(parse_program(SAMPLE))
+    twice = print_program(parse_program(once))
+    assert once == twice
+
+
+def test_printed_contains_directives():
+    text = print_program(parse_program(SAMPLE))
+    assert "!HPF$ PROCESSORS P(4)" in text
+    assert "!HPF$ ALIGN B(I) WITH A(I)" in text
+    assert "!HPF$ DISTRIBUTE (BLOCK) :: A" in text
+
+
+def test_printed_preserves_bounds():
+    text = print_program(parse_program(SAMPLE))
+    assert "C(0:7)" in text
+
+
+def test_printed_if_else():
+    text = print_program(parse_program(SAMPLE))
+    assert "ELSE" in text and "END IF" in text
+
+
+def test_independent_directive_printed():
+    src = (
+        "PROGRAM t\nREAL C(4)\n"
+        "!HPF$ INDEPENDENT, NEW(C)\n"
+        "DO k = 1, 4\n  C(k) = 0.0\nEND DO\nEND\n"
+    )
+    text = print_program(parse_program(src))
+    assert "!HPF$ INDEPENDENT, NEW(C)" in text
+
+
+def test_goto_and_label_printed():
+    src = "PROGRAM t\nREAL A(4)\nDO i = 1, 4\n  GO TO 10\n10 CONTINUE\nEND DO\nEND\n"
+    text = print_program(parse_program(src))
+    assert "GO TO 10" in text
+    assert "10 CONTINUE" in text

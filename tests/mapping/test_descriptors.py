@@ -1,0 +1,156 @@
+"""Array mapping resolution and ownership tests."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.ir import parse_and_build
+from repro.mapping import ProcessorGrid, resolve_mappings
+
+
+def resolved(src, shape=(4,)):
+    proc = parse_and_build(src)
+    grid = ProcessorGrid(name="P", shape=shape)
+    return proc, resolve_mappings(proc, grid)
+
+
+BASIC = """
+PROGRAM T
+  REAL A(12), B(12), E(12)
+!HPF$ ALIGN B(i) WITH A(i)
+!HPF$ ALIGN E(i) WITH A(*)
+!HPF$ DISTRIBUTE (BLOCK) :: A
+END PROGRAM
+"""
+
+
+class TestDistribute:
+    def test_block_ownership(self):
+        proc, maps = resolved(BASIC)
+        a = maps["A"]
+        assert a.owner_coords((1,)) == (0,)
+        assert a.owner_coords((12,)) == (3,)
+
+    def test_partition_of_index_space(self):
+        proc, maps = resolved(BASIC)
+        a = maps["A"]
+        seen = []
+        for rank in range(4):
+            seen.extend(a.owned_global_indices(rank))
+        assert sorted(seen) == [(i,) for i in range(1, 13)]
+
+    def test_rank_mismatch_rejected(self):
+        src = (
+            "PROGRAM T\n  REAL A(8, 8)\n"
+            "!HPF$ DISTRIBUTE (BLOCK, BLOCK) :: A\nEND PROGRAM\n"
+        )
+        proc = parse_and_build(src)
+        with pytest.raises(MappingError):
+            resolve_mappings(proc, ProcessorGrid(name="P", shape=(4,)))
+
+    def test_collapsed_dim(self):
+        src = (
+            "PROGRAM T\n  REAL A(8, 8)\n"
+            "!HPF$ DISTRIBUTE (*, BLOCK) :: A\nEND PROGRAM\n"
+        )
+        proc, maps = resolved(src)
+        a = maps["A"]
+        # dim 0 collapsed: same owner independent of row
+        assert a.owner_coords((1, 5)) == a.owner_coords((8, 5))
+
+    def test_cyclic_ownership(self):
+        src = (
+            "PROGRAM T\n  REAL A(8)\n"
+            "!HPF$ DISTRIBUTE (CYCLIC) :: A\nEND PROGRAM\n"
+        )
+        proc, maps = resolved(src, shape=(3,))
+        owners = [maps["A"].owner_coords((i,))[0] for i in range(1, 9)]
+        assert owners == [0, 1, 2, 0, 1, 2, 0, 1]
+
+
+class TestAlign:
+    def test_identity_alignment_colocates(self):
+        proc, maps = resolved(BASIC)
+        for i in range(1, 13):
+            assert maps["B"].owner_coords((i,)) == maps["A"].owner_coords((i,))
+
+    def test_star_alignment_replicates(self):
+        proc, maps = resolved(BASIC)
+        e = maps["E"]
+        assert e.is_replicated
+        assert len(e.owner_ranks((5,))) == 4
+
+    def test_offset_alignment(self):
+        src = (
+            "PROGRAM T\n  REAL A(12), B(8)\n"
+            "!HPF$ ALIGN B(i) WITH A(i + 2)\n"
+            "!HPF$ DISTRIBUTE (BLOCK) :: A\nEND PROGRAM\n"
+        )
+        proc, maps = resolved(src)
+        for i in range(1, 9):
+            assert maps["B"].owner_coords((i,)) == maps["A"].owner_coords((i + 2,))
+
+    def test_chain_alignment(self):
+        src = (
+            "PROGRAM T\n  REAL A(12), B(12), C(12)\n"
+            "!HPF$ ALIGN C(i) WITH B(i)\n"
+            "!HPF$ ALIGN B(i) WITH A(i)\n"
+            "!HPF$ DISTRIBUTE (BLOCK) :: A\nEND PROGRAM\n"
+        )
+        proc, maps = resolved(src)
+        assert maps["C"].owner_coords((7,)) == maps["A"].owner_coords((7,))
+
+    def test_row_alignment_2d(self):
+        src = (
+            "PROGRAM T\n  REAL H(8, 8), A(8)\n"
+            "!HPF$ ALIGN A(i) WITH H(i, *)\n"
+            "!HPF$ DISTRIBUTE (BLOCK, *) :: H\nEND PROGRAM\n"
+        )
+        proc, maps = resolved(src)
+        a = maps["A"]
+        for i in range(1, 9):
+            assert a.owner_coords((i,)) == maps["H"].owner_coords((i, 3))
+
+    def test_transposed_alignment(self):
+        src = (
+            "PROGRAM T\n  REAL H(8, 8), A(8)\n"
+            "!HPF$ ALIGN A(j) WITH H(*, j)\n"
+            "!HPF$ DISTRIBUTE (*, BLOCK) :: H\nEND PROGRAM\n"
+        )
+        proc, maps = resolved(src)
+        for j in range(1, 9):
+            assert maps["A"].owner_coords((j,)) == maps["H"].owner_coords((2, j))
+
+    def test_unmapped_array_replicated(self):
+        proc, maps = resolved(
+            "PROGRAM T\n  REAL A(8), Z(4)\n!HPF$ DISTRIBUTE (BLOCK) :: A\nEND PROGRAM\n"
+        )
+        assert maps["Z"].is_replicated
+
+
+class TestLocalSections:
+    def test_local_shape_block(self):
+        proc, maps = resolved(BASIC)
+        assert maps["A"].local_shape() == (3,)
+
+    def test_local_index_dense(self):
+        proc, maps = resolved(BASIC)
+        a = maps["A"]
+        assert a.local_index((4,)) == (0,)  # first element of coord 1
+        assert a.local_index((6,)) == (2,)
+
+    def test_owns(self):
+        proc, maps = resolved(BASIC)
+        a = maps["A"]
+        rank = a.primary_owner_rank((5,))
+        assert a.owns(rank, (5,))
+        other = (rank + 1) % 4
+        assert not a.owns(other, (5,))
+
+    def test_replicated_owned_by_all(self):
+        proc, maps = resolved(BASIC)
+        e = maps["E"]
+        assert all(e.owns(r, (3,)) for r in range(4))
+
+    def test_privatized_dims_property(self):
+        proc, maps = resolved(BASIC)
+        assert maps["A"].privatized_grid_dims == ()

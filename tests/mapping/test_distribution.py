@@ -1,0 +1,95 @@
+"""Distribution format (BLOCK/CYCLIC) arithmetic tests."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping import DimFormat
+
+
+class TestBlock:
+    def test_block_size_ceiling(self):
+        fmt = DimFormat(kind="block", extent=10, procs=4)
+        assert fmt.block_size == 3
+
+    def test_owner_assignment(self):
+        fmt = DimFormat(kind="block", extent=10, procs=4)
+        owners = [fmt.owner(i) for i in range(10)]
+        assert owners == [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]
+
+    def test_local_counts_sum_to_extent(self):
+        fmt = DimFormat(kind="block", extent=10, procs=4)
+        assert sum(fmt.local_count(c) for c in range(4)) == 10
+
+    def test_ragged_last_block(self):
+        fmt = DimFormat(kind="block", extent=10, procs=4)
+        assert fmt.local_count(3) == 1
+
+    def test_empty_processor(self):
+        fmt = DimFormat(kind="block", extent=4, procs=8)
+        assert fmt.local_count(7) == 0
+
+    def test_local_global_roundtrip(self):
+        fmt = DimFormat(kind="block", extent=10, procs=3)
+        for index in range(10):
+            coord = fmt.owner(index)
+            assert fmt.to_global(coord, fmt.to_local(index)) == index
+
+    def test_owned_indices_ascending(self):
+        fmt = DimFormat(kind="block", extent=10, procs=3)
+        owned = list(fmt.owned_indices(1))
+        assert owned == sorted(owned)
+        assert all(fmt.owner(i) == 1 for i in owned)
+
+    def test_max_local_count(self):
+        fmt = DimFormat(kind="block", extent=10, procs=4)
+        assert fmt.max_local_count() == 3
+
+
+class TestCyclic:
+    def test_owner_round_robin(self):
+        fmt = DimFormat(kind="cyclic", extent=8, procs=3)
+        assert [fmt.owner(i) for i in range(8)] == [0, 1, 2, 0, 1, 2, 0, 1]
+
+    def test_chunked_cyclic(self):
+        fmt = DimFormat(kind="cyclic", extent=8, procs=2, chunk=2)
+        assert [fmt.owner(i) for i in range(8)] == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_local_counts_sum(self):
+        fmt = DimFormat(kind="cyclic", extent=11, procs=3, chunk=2)
+        assert sum(fmt.local_count(c) for c in range(3)) == 11
+
+    def test_roundtrip(self):
+        fmt = DimFormat(kind="cyclic", extent=13, procs=4, chunk=3)
+        for index in range(13):
+            coord = fmt.owner(index)
+            assert fmt.to_global(coord, fmt.to_local(index)) == index
+
+    def test_dense_local_packing(self):
+        fmt = DimFormat(kind="cyclic", extent=12, procs=3)
+        locals_of_0 = [fmt.to_local(i) for i in fmt.owned_indices(0)]
+        assert locals_of_0 == list(range(len(locals_of_0)))
+
+
+class TestValidation:
+    def test_bad_kind(self):
+        with pytest.raises(MappingError):
+            DimFormat(kind="diagonal", extent=4, procs=2)
+
+    def test_bad_extent(self):
+        with pytest.raises(MappingError):
+            DimFormat(kind="block", extent=0, procs=2)
+
+    def test_index_out_of_extent(self):
+        fmt = DimFormat(kind="block", extent=4, procs=2)
+        with pytest.raises(MappingError):
+            fmt.owner(4)
+
+    def test_coord_out_of_procs(self):
+        fmt = DimFormat(kind="block", extent=4, procs=2)
+        with pytest.raises(MappingError):
+            fmt.local_count(2)
+
+    def test_to_global_out_of_extent(self):
+        fmt = DimFormat(kind="block", extent=4, procs=2)
+        with pytest.raises(MappingError):
+            fmt.to_global(1, 5)

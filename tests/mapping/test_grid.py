@@ -1,0 +1,71 @@
+"""Processor grid tests."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping import ProcessorGrid, default_grid
+
+
+class TestGrid:
+    def test_size(self):
+        assert ProcessorGrid(name="P", shape=(4, 4)).size == 16
+
+    def test_rank_roundtrip(self):
+        grid = ProcessorGrid(name="P", shape=(2, 3, 4))
+        for rank in grid.all_ranks():
+            assert grid.rank_of(grid.coords_of(rank)) == rank
+
+    def test_row_major_order(self):
+        grid = ProcessorGrid(name="P", shape=(2, 3))
+        assert grid.coords_of(0) == (0, 0)
+        assert grid.coords_of(1) == (0, 1)
+        assert grid.coords_of(3) == (1, 0)
+
+    def test_all_coords_count(self):
+        grid = ProcessorGrid(name="P", shape=(2, 3))
+        assert len(list(grid.all_coords())) == 6
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(MappingError):
+            ProcessorGrid(name="P", shape=(0,))
+        with pytest.raises(MappingError):
+            ProcessorGrid(name="P", shape=())
+
+    def test_out_of_range_rank(self):
+        grid = ProcessorGrid(name="P", shape=(4,))
+        with pytest.raises(MappingError):
+            grid.coords_of(4)
+
+    def test_out_of_range_coords(self):
+        grid = ProcessorGrid(name="P", shape=(2, 2))
+        with pytest.raises(MappingError):
+            grid.rank_of((2, 0))
+
+    def test_neighbors(self):
+        grid = ProcessorGrid(name="P", shape=(4,))
+        assert grid.neighbors(0, 0) == (None, 1)
+        assert grid.neighbors(2, 0) == (1, 3)
+        assert grid.neighbors(3, 0) == (2, None)
+
+    def test_neighbors_2d(self):
+        grid = ProcessorGrid(name="P", shape=(2, 2))
+        prev_r, next_r = grid.neighbors(0, 1)
+        assert prev_r is None and next_r == 1
+        prev_r, next_r = grid.neighbors(1, 0)
+        assert prev_r is None and next_r == 3
+
+
+class TestDefaultGrid:
+    def test_one_dim(self):
+        assert default_grid(16).shape == (16,)
+
+    def test_two_dim_square(self):
+        assert default_grid(16, rank=2).shape == (4, 4)
+
+    def test_two_dim_rectangular(self):
+        shape = default_grid(8, rank=2).shape
+        assert shape[0] * shape[1] == 8
+
+    def test_prime_count(self):
+        shape = default_grid(7, rank=2).shape
+        assert shape[0] * shape[1] == 7

@@ -1,0 +1,130 @@
+"""Computation partitioning (executor set) tests."""
+
+import pytest
+
+from repro.core import CompilerOptions, compile_source
+from repro.ir import AssignStmt, IfStmt, LoopStmt, ScalarRef
+
+
+SRC = """
+PROGRAM T
+  PARAMETER (n = 16)
+  REAL A(n), B(n), E(n)
+  REAL x, z
+!HPF$ ALIGN B(i) WITH A(i)
+!HPF$ ALIGN E(i) WITH A(*)
+!HPF$ DISTRIBUTE (BLOCK) :: A
+  z = 0.0
+  DO i = 2, n - 1
+    x = B(i)
+    A(i) = x + E(i)
+  END DO
+END PROGRAM
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_source(SRC, CompilerOptions(num_procs=4))
+
+
+def stmt_named(compiled, fragment):
+    for stmt in compiled.proc.all_stmts():
+        if fragment in str(stmt):
+            return stmt
+    raise AssertionError(fragment)
+
+
+class TestExecutors:
+    def test_array_write_on_owner(self, compiled):
+        stmt = stmt_named(compiled, "A(I) =")
+        info = compiled.executors[stmt.stmt_id]
+        assert info.kind == "owner"
+        assert info.guard_ref is stmt.lhs
+
+    def test_aligned_scalar_on_target_owner(self, compiled):
+        stmt = stmt_named(compiled, "X =")
+        info = compiled.executors[stmt.stmt_id]
+        # x is privatized; executor either owner-of-target or union.
+        assert info.kind in ("owner", "union")
+        assert info.kind != "all"
+
+    def test_top_level_scalar_on_all(self, compiled):
+        stmt = stmt_named(compiled, "Z =")
+        info = compiled.executors[stmt.stmt_id]
+        assert info.kind == "all"
+
+    def test_loop_header_on_all(self, compiled):
+        loop = next(compiled.proc.loops())
+        info = compiled.executors[loop.stmt_id]
+        assert info.kind == "all"
+
+
+class TestReplicationStrategy:
+    def test_every_scalar_on_all(self):
+        compiled = compile_source(
+            SRC, CompilerOptions(num_procs=4, strategy="replication")
+        )
+        for stmt in compiled.proc.assignments():
+            if isinstance(stmt.lhs, ScalarRef):
+                assert compiled.executors[stmt.stmt_id].kind == "all"
+
+    def test_array_writes_still_guarded(self):
+        compiled = compile_source(
+            SRC, CompilerOptions(num_procs=4, strategy="replication")
+        )
+        stmt = stmt_named(compiled, "A(I) =")
+        assert compiled.executors[stmt.stmt_id].kind == "owner"
+
+
+class TestControlFlowExecutors:
+    SRC_CF = """
+PROGRAM T
+  PARAMETER (n = 16)
+  REAL A(n), B(n)
+!HPF$ ALIGN B(i) WITH A(i)
+!HPF$ DISTRIBUTE (BLOCK) :: A
+  DO i = 1, n
+    IF (B(i) > 0.0) THEN
+      A(i) = B(i)
+    END IF
+  END DO
+END PROGRAM
+"""
+
+    def test_privatized_if_is_union(self):
+        compiled = compile_source(self.SRC_CF, CompilerOptions(num_procs=4))
+        if_stmt = next(
+            s for s in compiled.proc.all_stmts() if isinstance(s, IfStmt)
+        )
+        assert compiled.executors[if_stmt.stmt_id].kind == "union"
+        assert compiled.executors[if_stmt.stmt_id].no_guard
+
+    def test_unprivatized_if_is_all(self):
+        compiled = compile_source(
+            self.SRC_CF,
+            CompilerOptions(num_procs=4, privatize_control_flow=False),
+        )
+        if_stmt = next(
+            s for s in compiled.proc.all_stmts() if isinstance(s, IfStmt)
+        )
+        assert compiled.executors[if_stmt.stmt_id].kind == "all"
+
+
+class TestPrivatizedArrayExecutors:
+    def test_priv_dims_follow_target(self):
+        from repro.programs import figure6_source
+
+        compiled = compile_source(
+            figure6_source(n=12, p0=2, p1=2), CompilerOptions()
+        )
+        write = next(
+            s
+            for s in compiled.proc.assignments()
+            if not isinstance(s.lhs, ScalarRef) and s.lhs.symbol.name == "C"
+        )
+        info = compiled.executors[write.stmt_id]
+        # Along the privatized grid dim the executor follows the target
+        # (rsd), so the position must be concrete, not 'any'.
+        assert info.position[1].kind == "pos"
+        assert info.union_dims == (1,)

@@ -1,0 +1,176 @@
+"""Analytic performance estimator tests."""
+
+import pytest
+
+from repro.core import CompilerOptions, compile_source
+from repro.perf import PerfEstimator
+
+
+def compile_body(body, n=64, procs=4, decls="", **opts):
+    src = (
+        f"PROGRAM T\n  PARAMETER (n = {n})\n"
+        "  REAL A(n), B(n), E(n), W(n, n)\n" + decls +
+        "!HPF$ ALIGN B(i) WITH A(i)\n"
+        "!HPF$ ALIGN E(i) WITH A(*)\n"
+        "!HPF$ ALIGN W(i, j) WITH A(j)\n"
+        "!HPF$ DISTRIBUTE (BLOCK) :: A\n"
+        + body + "\nEND PROGRAM\n"
+    )
+    return compile_source(src, CompilerOptions(num_procs=procs, **opts))
+
+
+class TestTripCounts:
+    def test_constant_bounds(self):
+        compiled = compile_body("  DO i = 1, n\n    A(i) = 0.0\n  END DO")
+        est = PerfEstimator(compiled)
+        assert est.trip_count(next(compiled.proc.loops())) == 64
+
+    def test_step(self):
+        compiled = compile_body("  DO i = 1, n, 2\n    A(i) = 0.0\n  END DO")
+        est = PerfEstimator(compiled)
+        assert est.trip_count(next(compiled.proc.loops())) == 32
+
+    def test_triangular_average(self):
+        compiled = compile_body(
+            "  DO i = 1, n\n    DO j = i, n\n      W(i, j) = 0.0\n    END DO\n"
+            "  END DO"
+        )
+        est = PerfEstimator(compiled)
+        loops = list(compiled.proc.loops())
+        est.trip_count(loops[0])
+        inner_trip = est.trip_count(loops[1])
+        # average over i midpoint: about n/2
+        assert 0.4 * 64 <= inner_trip <= 0.6 * 64
+
+
+class TestComputeScaling:
+    def test_parallel_speedup(self):
+        body = "  DO i = 1, n\n    A(i) = B(i) * 2.0 + 1.0\n  END DO"
+        t4 = PerfEstimator(compile_body(body, procs=4)).estimate().compute_time
+        t8 = PerfEstimator(compile_body(body, procs=8)).estimate().compute_time
+        assert t8 < t4
+
+    def test_replicated_execution_no_speedup(self):
+        body = "  DO i = 1, n\n    E(i) = B(i) * 2.0\n  END DO"
+        t4 = PerfEstimator(compile_body(body, procs=4)).estimate().compute_time
+        t8 = PerfEstimator(compile_body(body, procs=8)).estimate().compute_time
+        assert t8 == pytest.approx(t4)
+
+    def test_serialized_dimension(self):
+        """A(1) writes land on one processor: no parallelism."""
+        body = "  DO i = 1, n\n    A(1) = B(i)\n  END DO"
+        t4 = PerfEstimator(compile_body(body, procs=4)).estimate().compute_time
+        t8 = PerfEstimator(compile_body(body, procs=8)).estimate().compute_time
+        assert t8 == pytest.approx(t4)
+
+    def test_serial_estimate_equals_p1(self):
+        body = "  DO i = 1, n\n    A(i) = B(i) * 2.0\n  END DO"
+        est = PerfEstimator(compile_body(body, procs=1))
+        assert est.estimate_serial() == pytest.approx(est.estimate().compute_time)
+
+
+class TestCommScaling:
+    def test_no_comm_when_local(self):
+        body = "  DO i = 1, n\n    A(i) = B(i)\n  END DO"
+        assert PerfEstimator(compile_body(body)).estimate().comm_time == 0.0
+
+    def test_vectorized_cheaper_than_inner(self):
+        body = "  DO i = 2, n\n    A(i) = B(i - 1)\n  END DO"
+        vec = PerfEstimator(compile_body(body)).estimate().comm_time
+        raw = PerfEstimator(
+            compile_body(body, message_vectorization=False)
+        ).estimate().comm_time
+        assert raw > vec
+
+    def test_inner_loop_comm_scales_with_iterations(self):
+        body = (
+            "  DO it = 1, 4\n    DO i = 2, n - 1\n"
+            "      A(i) = A(i - 1) + A(i + 1)\n    END DO\n  END DO"
+        )
+        small = PerfEstimator(compile_body(body, n=32)).estimate().comm_time
+        large = PerfEstimator(compile_body(body, n=64)).estimate().comm_time
+        assert large > 1.5 * small
+
+    def test_shift_boundary_volume(self):
+        """A vectorized shift moves only boundary elements, so its cost
+        must be far below a broadcast of the same array."""
+        shift = compile_body("  DO i = 2, n\n    A(i) = B(i - 1)\n  END DO")
+        bcast = compile_body("  DO i = 1, n\n    E(i) = B(i)\n  END DO")
+        t_shift = PerfEstimator(shift).estimate().comm_time
+        t_bcast = PerfEstimator(bcast).estimate().comm_time
+        assert t_bcast > t_shift
+
+    def test_single_proc_no_comm(self):
+        body = "  DO i = 2, n\n    A(i) = B(i - 1)\n  END DO"
+        est = PerfEstimator(compile_body(body, procs=1)).estimate()
+        assert est.comm_time == 0.0
+
+
+class TestBreakdown:
+    def test_stmt_costs_enumerated(self):
+        body = "  DO i = 1, n\n    A(i) = B(i) + 1.0\n  END DO"
+        est = PerfEstimator(compile_body(body)).estimate()
+        assert len(est.stmt_costs) == 1
+        cost = est.stmt_costs[0]
+        assert cost.instances == 64
+        assert cost.parallel_factor == 4.0
+
+    def test_total_is_sum(self):
+        body = "  DO i = 2, n\n    A(i) = B(i - 1)\n  END DO"
+        est = PerfEstimator(compile_body(body)).estimate()
+        assert est.total_time == pytest.approx(est.compute_time + est.comm_time)
+
+    def test_summary_text(self):
+        body = "  DO i = 1, n\n    A(i) = B(i)\n  END DO"
+        text = PerfEstimator(compile_body(body)).estimate().summary()
+        assert "compute" in text and "comm" in text
+
+
+class TestSpeedupHelper:
+    def test_speedup_computation(self):
+        body = "  DO i = 1, n\n    A(i) = B(i) * 2.0\n  END DO"
+        est = PerfEstimator(compile_body(body, procs=4))
+        serial = est.estimate_serial()
+        result = est.estimate()
+        assert result.speedup(serial) == pytest.approx(serial / result.total_time)
+
+    def test_selected_tomcatv_speedup_exceeds_baselines(self):
+        from repro.programs import tomcatv_source
+
+        src = tomcatv_source(n=65, niter=2, procs=8)
+        selected = compile_source(src, CompilerOptions(strategy="selected"))
+        replication = compile_source(src, CompilerOptions(strategy="replication"))
+        serial = PerfEstimator(selected).estimate_serial()
+        s_sel = PerfEstimator(selected).estimate().speedup(serial)
+        s_rep = PerfEstimator(replication).estimate().speedup(serial)
+        assert s_sel > 1.0 > s_rep
+
+
+class TestPipelinedShiftPricing:
+    def test_pipelined_cheaper_for_inner_loop_shifts(self):
+        from repro.programs import appsp_source
+
+        src = appsp_source(nx=16, ny=16, nz=16, niter=2, procs=4, distribution="2d")
+        compiled = compile_source(src, CompilerOptions())
+        default = PerfEstimator(compiled).estimate().comm_time
+        pipelined = PerfEstimator(compiled, pipelined_shifts=True).estimate().comm_time
+        assert pipelined < default
+
+    def test_pipelined_closes_gap_to_simulator(self):
+        import numpy as np
+
+        from repro.machine import simulate
+        from repro.programs import appsp_inputs, appsp_source
+
+        src = appsp_source(nx=8, ny=8, nz=8, niter=2, procs=4, distribution="2d")
+        compiled = compile_source(src, CompilerOptions())
+        est = PerfEstimator(compiled, pipelined_shifts=True).estimate().total_time
+        sim = simulate(compiled, appsp_inputs(8, 8, 8)).elapsed
+        assert 0.3 < est / sim < 3.0
+
+    def test_vectorized_shifts_unaffected(self):
+        body = "  DO i = 2, n\n    A(i) = B(i - 1)\n  END DO"
+        compiled = compile_body(body)
+        default = PerfEstimator(compiled).estimate().comm_time
+        pipelined = PerfEstimator(compiled, pipelined_shifts=True).estimate().comm_time
+        assert pipelined == pytest.approx(default)

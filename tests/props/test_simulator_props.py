@@ -1,0 +1,84 @@
+"""Property: the SPMD simulator agrees with the sequential interpreter
+on randomized stencil-ish programs, under every strategy."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import run_sequential
+from repro.core import CompilerOptions, compile_source
+from repro.ir import parse_and_build
+from repro.machine import simulate
+
+
+@st.composite
+def stencil_programs(draw):
+    """Random single-nest programs over aligned 1-D arrays."""
+    n = draw(st.integers(min_value=6, max_value=12))
+    stmts = []
+    n_stmts = draw(st.integers(min_value=1, max_value=4))
+    temps_defined = []
+    for k in range(n_stmts):
+        use_temp = temps_defined and draw(st.booleans())
+        off1 = draw(st.integers(min_value=-1, max_value=1))
+        off2 = draw(st.integers(min_value=-1, max_value=1))
+        src1 = f"B(i {'+' if off1 >= 0 else '-'} {abs(off1)})" if off1 else "B(i)"
+        src2 = f"C(i {'+' if off2 >= 0 else '-'} {abs(off2)})" if off2 else "C(i)"
+        rhs = f"{src1} + {src2}"
+        if use_temp:
+            rhs += f" + {temps_defined[-1]}"
+        kind = draw(st.sampled_from(["temp", "array"]))
+        if kind == "temp":
+            temp = f"T{k}"
+            stmts.append(f"{temp} = {rhs}")
+            temps_defined.append(temp)
+        else:
+            stmts.append(f"A(i) = {rhs}")
+    if not any(s.startswith("A(") for s in stmts):
+        stmts.append(f"A(i) = {temps_defined[-1]}" if temps_defined else "A(i) = B(i)")
+    body = "".join(f"    {s}\n" for s in stmts)
+    temp_decl = ""
+    if temps_defined:
+        temp_decl = "  REAL " + ", ".join(temps_defined) + "\n"
+    source = (
+        f"PROGRAM R\n  PARAMETER (n = {n})\n"
+        "  REAL A(n), B(n), C(n)\n" + temp_decl +
+        "!HPF$ ALIGN (i) WITH A(i) :: B, C\n"
+        "!HPF$ DISTRIBUTE (BLOCK) :: A\n"
+        "  DO i = 2, n - 1\n" + body + "  END DO\n"
+        "END PROGRAM\n"
+    )
+    return source, n
+
+
+@given(stencil_programs(), st.sampled_from(["selected", "producer", "replication", "noalign"]))
+@settings(max_examples=25, deadline=None)
+def test_simulator_matches_sequential(case, strategy):
+    source, n = case
+    rng = np.random.default_rng(42)
+    inputs = {
+        "A": rng.uniform(1, 2, n),
+        "B": rng.uniform(1, 2, n),
+        "C": rng.uniform(1, 2, n),
+    }
+    seq = run_sequential(parse_and_build(source), inputs)
+    compiled = compile_source(source, CompilerOptions(strategy=strategy, num_procs=3))
+    sim = simulate(compiled, inputs)
+    assert np.allclose(sim.gather("A"), seq.get_array("A"))
+    assert sim.stats.unexpected_fetches == 0
+
+
+@given(stencil_programs(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=20, deadline=None)
+def test_result_independent_of_processor_count(case, procs):
+    source, n = case
+    rng = np.random.default_rng(7)
+    inputs = {
+        "A": rng.uniform(1, 2, n),
+        "B": rng.uniform(1, 2, n),
+        "C": rng.uniform(1, 2, n),
+    }
+    compiled = compile_source(source, CompilerOptions(num_procs=procs))
+    sim = simulate(compiled, inputs)
+    seq = run_sequential(parse_and_build(source), inputs)
+    assert np.allclose(sim.gather("A"), seq.get_array("A"))

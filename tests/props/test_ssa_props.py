@@ -1,0 +1,114 @@
+"""Property-based tests on SSA invariants over generated straight-line
+and structured programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import build_ssa, compute_dominance
+from repro.ir import ScalarRef, build_cfg, parse_and_build
+
+SCALARS = ["X", "Y", "Z", "W"]
+ARRAYS = ["A", "B"]
+
+
+@st.composite
+def statements(draw, depth=0):
+    kind = draw(
+        st.sampled_from(
+            ["assign", "assign", "assign", "if", "loop"] if depth < 2 else ["assign"]
+        )
+    )
+    if kind == "assign":
+        target = draw(st.sampled_from(SCALARS))
+        op1 = draw(st.sampled_from(SCALARS + ["1.0", "2.0"]))
+        op2 = draw(st.sampled_from(SCALARS + ["3.0"]))
+        return [f"{target} = {op1} + {op2}"]
+    if kind == "if":
+        cond_var = draw(st.sampled_from(SCALARS))
+        then_body = draw(st.lists(statements(depth + 1), min_size=1, max_size=2))
+        else_body = draw(st.lists(statements(depth + 1), min_size=0, max_size=2))
+        lines = [f"IF ({cond_var} > 0.0) THEN"]
+        for block in then_body:
+            lines.extend("  " + l for l in block)
+        if else_body:
+            lines.append("ELSE")
+            for block in else_body:
+                lines.extend("  " + l for l in block)
+        lines.append("END IF")
+        return lines
+    loop_var = draw(st.sampled_from(["I", "J"]))
+    body = draw(st.lists(statements(depth + 1), min_size=1, max_size=2))
+    lines = [f"DO {loop_var} = 1, 4"]
+    for block in body:
+        lines.extend("  " + l for l in block)
+    lines.append("END DO")
+    return lines
+
+
+@st.composite
+def programs(draw):
+    init = [f"{s} = 1.0" for s in SCALARS]
+    blocks = draw(st.lists(statements(), min_size=1, max_size=5))
+    body = init + [line for block in blocks for line in block]
+    text = "PROGRAM G\n  REAL X, Y, Z, W\n"
+    text += "".join(f"  {line}\n" for line in body)
+    text += "END PROGRAM\n"
+    return text
+
+
+@given(programs())
+@settings(max_examples=40, deadline=None)
+def test_every_use_has_reaching_defs(source):
+    proc = parse_and_build(source)
+    cfg = build_cfg(proc)
+    ssa = build_ssa(cfg)
+    for stmt in proc.all_stmts():
+        for ref in stmt.uses():
+            if isinstance(ref, ScalarRef) and ref.symbol.is_scalar:
+                if ref.symbol.is_loop_var:
+                    continue
+                assert ssa.reaching_real_defs(ref), f"no defs reach {ref} in:\n{source}"
+
+
+@given(programs())
+@settings(max_examples=40, deadline=None)
+def test_defs_dominate_direct_uses(source):
+    """A (non-phi) definition dominates every use that directly sees it."""
+    proc = parse_and_build(source)
+    cfg = build_cfg(proc)
+    dom = compute_dominance(cfg)
+    ssa = build_ssa(cfg, dom=dom)
+    for def_id, use_refs in ssa.direct_uses.items():
+        d = ssa.defs[def_id]
+        if d.kind == "phi":
+            continue
+        for ref_id in use_refs:
+            use_node = ssa.use_info[ref_id][1]
+            assert dom.dominates(d.node, use_node)
+
+
+@given(programs())
+@settings(max_examples=40, deadline=None)
+def test_phi_operand_count_matches_preds(source):
+    proc = parse_and_build(source)
+    cfg = build_cfg(proc)
+    ssa = build_ssa(cfg)
+    for node_index, phis in ssa.phis_at.items():
+        node = cfg.nodes[node_index]
+        for def_id in phis:
+            phi = ssa.defs[def_id]
+            assert 1 <= len(phi.operands) <= len(node.preds)
+
+
+@given(programs())
+@settings(max_examples=40, deadline=None)
+def test_reached_uses_inverse_of_reaching_defs(source):
+    """If u is a reached use of d, then d is a reaching def of u."""
+    proc = parse_and_build(source)
+    cfg = build_cfg(proc)
+    ssa = build_ssa(cfg)
+    for d in list(ssa.defs.values()):
+        if not d.is_real:
+            continue
+        for use in ssa.reached_uses(d):
+            assert d in ssa.reaching_real_defs(use)

@@ -1,0 +1,129 @@
+"""Python program-builder API tests."""
+
+import numpy as np
+import pytest
+
+from repro.builder import BuilderError, ProgramBuilder, intrinsic
+from repro.codegen import run_sequential
+from repro.core import AlignedTo, CompilerOptions
+from repro.ir import ScalarRef, parse_and_build
+from repro.machine import simulate
+
+
+def smooth_builder():
+    b = ProgramBuilder("SMOOTH", procs=(4,))
+    U = b.array("U", (64,), distribute=("BLOCK",))
+    V = b.array("V", (64,), align_with=U)
+    t = b.scalar("t")
+    i = b.index("i")
+    with b.loop(i, 2, 63):
+        b.assign(t, U[i - 1] + 2.0 * U[i] + U[i + 1])
+        b.assign(V[i], 0.25 * t)
+    return b
+
+
+class TestSourceGeneration:
+    def test_source_parses(self):
+        proc = parse_and_build(smooth_builder().source())
+        assert proc.symbols.require("U").is_array
+        assert proc.symbols.require("V").is_array
+
+    def test_directives_emitted(self):
+        text = smooth_builder().source()
+        assert "!HPF$ PROCESSORS PGRID(4)" in text
+        assert "!HPF$ DISTRIBUTE (BLOCK) :: U" in text
+        assert "!HPF$ ALIGN V(d0) WITH U(d0)" in text
+
+    def test_expression_rendering(self):
+        b = ProgramBuilder("E")
+        A = b.array("A", (8,))
+        x = b.scalar("x")
+        i = b.index("i")
+        with b.loop(i, 1, 8):
+            b.assign(x, (A[i] + 1.0) * 2.0 - A[i] / 4.0)
+            b.assign(A[i], -x ** 2)
+            b.assign(A[i], intrinsic("MAX", x, 0.0))
+        parse_and_build(b.source())
+
+    def test_reverse_operand_order(self):
+        b = ProgramBuilder("R")
+        x = b.scalar("x")
+        b.assign(x, 1.0)
+        b.assign(x, 2.0 * x + 1.0)
+        b.assign(x, 3.0 - x)
+        parse_and_build(b.source())
+
+    def test_conditionals(self):
+        b = ProgramBuilder("C")
+        A = b.array("A", (8,))
+        i = b.index("i")
+        with b.loop(i, 1, 8):
+            with b.when(A[i] > 0.5) as branch:
+                b.assign(A[i], 1.0)
+                branch.otherwise()
+                b.assign(A[i], 0.0)
+        proc = parse_and_build(b.source())
+        text = b.source()
+        assert "ELSE" in text and "END IF" in text
+
+    def test_new_and_reduction_clauses(self):
+        b = ProgramBuilder("N")
+        A = b.array("A", (8,))
+        W = b.array("W", (8,))
+        s = b.scalar("s")
+        i = b.index("i")
+        b.assign(s, 0.0)
+        with b.loop(i, 1, 8, new=[W], reduction=[s]):
+            b.assign(W[i], A[i])
+            b.assign(s, s + W[i])
+        b.assign(A[1], s)
+        text = b.source()
+        assert "!HPF$ INDEPENDENT, NEW(W), REDUCTION(S)" in text
+        parse_and_build(text)
+
+
+class TestValidation:
+    def test_duplicate_name_rejected(self):
+        b = ProgramBuilder("D")
+        b.scalar("x")
+        with pytest.raises(BuilderError):
+            b.scalar("X")
+
+    def test_rank_mismatch_rejected(self):
+        b = ProgramBuilder("D")
+        A = b.array("A", (4, 4))
+        with pytest.raises(BuilderError):
+            A[1]
+
+    def test_distribute_and_align_conflict(self):
+        b = ProgramBuilder("D")
+        U = b.array("U", (8,), distribute=("BLOCK",))
+        with pytest.raises(BuilderError):
+            b.array("V", (8,), distribute=("BLOCK",), align_with=U)
+
+    def test_bad_expression_operand(self):
+        b = ProgramBuilder("D")
+        x = b.scalar("x")
+        with pytest.raises(BuilderError):
+            b.assign(x, object())
+
+
+class TestCompilation:
+    def test_compile_and_decisions(self):
+        compiled = smooth_builder().compile()
+        t_stmts = [
+            s
+            for s in compiled.proc.assignments()
+            if isinstance(s.lhs, ScalarRef) and s.lhs.symbol.name == "T"
+        ]
+        mapping = compiled.scalar_mapping_of(t_stmts[0].stmt_id)
+        assert isinstance(mapping, AlignedTo)
+
+    def test_built_program_simulates_correctly(self):
+        compiled = smooth_builder().compile(CompilerOptions())
+        rng = np.random.default_rng(5)
+        inputs = {"U": rng.uniform(0, 1, 64), "V": np.zeros(64)}
+        seq = run_sequential(parse_and_build(smooth_builder().source()), inputs)
+        sim = simulate(compiled, inputs)
+        assert np.allclose(sim.gather("V"), seq.get_array("V"))
+        assert sim.stats.unexpected_fetches == 0

@@ -1,0 +1,130 @@
+"""CLI tests (driving repro.cli.main directly)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "demo.hpf"
+    path.write_text(
+        "PROGRAM DEMO\n"
+        "  PARAMETER (n = 16)\n"
+        "  REAL A(n), B(n)\n"
+        "  REAL t\n"
+        "!HPF$ PROCESSORS P(4)\n"
+        "!HPF$ ALIGN B(i) WITH A(i)\n"
+        "!HPF$ DISTRIBUTE (BLOCK) :: A\n"
+        "  DO i = 2, n - 1\n"
+        "    t = B(i - 1) + B(i + 1)\n"
+        "    A(i) = 0.5 * t\n"
+        "  END DO\n"
+        "END PROGRAM\n"
+    )
+    return str(path)
+
+
+class TestCompile:
+    def test_report_printed(self, program_file, capsys):
+        assert main(["compile", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "scalar mappings" in out
+        assert "aligned with A(I)" in out
+
+    def test_spmd_flag(self, program_file, capsys):
+        assert main(["compile", program_file, "--spmd"]) == 0
+        out = capsys.readouterr().out
+        assert "SPMD node program" in out
+        assert "SHIFT_EXCHANGE" in out
+
+    def test_strategy_flag(self, program_file, capsys):
+        assert main(["compile", program_file, "--strategy", "replication"]) == 0
+        out = capsys.readouterr().out
+        assert "replicated" in out
+
+    def test_procs_override(self, program_file, capsys):
+        assert main(["compile", program_file, "--procs", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "8 processors" in out
+
+    def test_bad_strategy_rejected(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["compile", program_file, "--strategy", "bogus"])
+
+
+class TestEstimate:
+    def test_sweep(self, program_file, capsys):
+        assert main(["estimate", program_file, "--procs", "1", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "compute" in out
+        assert out.count("s ") >= 2
+
+    def test_combine_flag_accepted(self, program_file, capsys):
+        assert (
+            main(["estimate", program_file, "--procs", "4", "--combine-messages"])
+            == 0
+        )
+
+
+class TestRun:
+    def test_validates_against_sequential(self, program_file, capsys):
+        assert main(["run", program_file, "--procs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "matches sequential: True" in out
+        assert "0 unexpected" in out
+
+    def test_seed_determinism(self, program_file, capsys):
+        main(["run", program_file, "--seed", "3"])
+        first = capsys.readouterr().out
+        main(["run", program_file, "--seed", "3"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestTables:
+    def test_single_fast_table(self, capsys):
+        assert main(["tables", "--table", "2", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "DGEFA" in out
+        assert "Alignment" in out
+
+    def test_multiple_tables(self, capsys):
+        assert main(["tables", "--table", "2", "3", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "DGEFA" in out and "APPSP" in out
+
+
+class TestStdin:
+    def test_dash_reads_stdin(self, monkeypatch, capsys):
+        import io
+
+        source = (
+            "PROGRAM P\n  REAL A(8)\n!HPF$ DISTRIBUTE (BLOCK) :: A\n"
+            "  DO i = 1, 8\n    A(i) = 1.0\n  END DO\nEND PROGRAM\n"
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(source))
+        assert main(["compile", "-", "--procs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "=== P ===" in out
+
+
+class TestExplainAndProfile:
+    def test_explain_flag(self, program_file, capsys):
+        assert main(["compile", program_file, "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "diagnostics:" in out
+
+    def test_profile_command(self, program_file, capsys):
+        assert main(["profile", program_file, "--procs", "4", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "statements by compute time" in out
+        assert "transfers by time" in out
+
+
+class TestTraceFlag:
+    def test_run_with_trace(self, program_file, capsys):
+        assert main(["run", program_file, "--procs", "4", "--trace", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "fetch" in out

@@ -1,0 +1,122 @@
+"""Error-path tests: malformed programs must fail with the right
+exception type and an actionable message, never a stack-trace surprise."""
+
+import pytest
+
+from repro.core import CompilerOptions, compile_source
+from repro.errors import (
+    DirectiveError,
+    LexError,
+    MappingError,
+    ParseError,
+    ReproError,
+    SemanticError,
+)
+from repro.ir import parse_and_build
+
+
+class TestFrontEndErrors:
+    def test_lex_error_has_location(self):
+        with pytest.raises(LexError) as err:
+            parse_and_build("PROGRAM t\n  A = $\nEND\n")
+        assert "line 2" in str(err.value)
+
+    def test_parse_error_has_location(self):
+        with pytest.raises(ParseError) as err:
+            parse_and_build("PROGRAM t\n  DO i = 1\nEND\n")
+        assert "line" in str(err.value)
+
+    def test_missing_end(self):
+        with pytest.raises(ParseError):
+            parse_and_build("PROGRAM t\n  x = 1.0\n")
+
+    def test_bad_directive(self):
+        with pytest.raises(DirectiveError):
+            parse_and_build("PROGRAM t\n  REAL A(4)\n!HPF$ FROBNICATE A\nEND\n")
+
+    def test_goto_nowhere(self):
+        with pytest.raises(SemanticError) as err:
+            parse_and_build("PROGRAM t\n  GO TO 77\nEND\n")
+        assert "77" in str(err.value)
+
+    def test_undeclared_array(self):
+        with pytest.raises(SemanticError):
+            parse_and_build("PROGRAM t\n  x = NOSUCHARRAY(1, 2)\nEND\n")
+
+    def test_symbolic_array_bound(self):
+        with pytest.raises(SemanticError):
+            parse_and_build("PROGRAM t\n  REAL A(m)\nEND\n")
+
+
+class TestMappingErrors:
+    def test_grid_rank_mismatch(self):
+        src = (
+            "PROGRAM t\n  REAL A(8)\n"
+            "!HPF$ PROCESSORS P(2, 2)\n"
+            "!HPF$ DISTRIBUTE (BLOCK) :: A\nEND\n"
+        )
+        with pytest.raises(MappingError):
+            compile_source(src, CompilerOptions())
+
+    def test_cyclic_align_chain(self):
+        src = (
+            "PROGRAM t\n  REAL A(8), B(8)\n"
+            "!HPF$ ALIGN A(i) WITH B(i)\n"
+            "!HPF$ ALIGN B(i) WITH A(i)\nEND\n"
+        )
+        with pytest.raises(MappingError) as err:
+            compile_source(src, CompilerOptions(num_procs=2))
+        assert "ALIGN chain" in str(err.value)
+
+    def test_align_to_scalar_rejected(self):
+        src = (
+            "PROGRAM t\n  REAL A(8)\n  REAL x\n"
+            "!HPF$ ALIGN A(i) WITH x(i)\nEND\n"
+        )
+        with pytest.raises((DirectiveError, SemanticError)):
+            compile_source(src, CompilerOptions())
+
+
+class TestOptionsValidation:
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError) as err:
+            CompilerOptions(strategy="fastest")
+        assert "fastest" in str(err.value)
+
+    def test_all_errors_share_base(self):
+        for exc in (LexError, ParseError, DirectiveError, SemanticError, MappingError):
+            assert issubclass(exc, ReproError)
+
+
+class TestRuntimeErrors:
+    def test_out_of_bounds_subscript(self):
+        from repro.codegen import run_sequential
+        from repro.errors import InterpreterError
+
+        proc = parse_and_build("PROGRAM t\n  REAL A(4)\n  A(5) = 1.0\nEND\n")
+        with pytest.raises(InterpreterError) as err:
+            run_sequential(proc, {})
+        assert "out of bounds" in str(err.value)
+
+    def test_uninitialized_scalar(self):
+        from repro.codegen import run_sequential
+        from repro.errors import InterpreterError
+
+        proc = parse_and_build("PROGRAM t\n  REAL A(4)\n  A(1) = qq\nEND\n")
+        with pytest.raises(InterpreterError):
+            run_sequential(proc, {})
+
+    def test_simulator_shape_mismatch(self):
+        import numpy as np
+
+        from repro.errors import SimulationError
+        from repro.machine import SPMDSimulator
+
+        compiled = compile_source(
+            "PROGRAM t\n  REAL A(4)\n!HPF$ DISTRIBUTE (BLOCK) :: A\n"
+            "  A(1) = 1.0\nEND\n",
+            CompilerOptions(num_procs=2),
+        )
+        sim = SPMDSimulator(compiled)
+        with pytest.raises(SimulationError):
+            sim.set_array("A", np.zeros(7))
