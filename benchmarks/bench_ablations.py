@@ -9,15 +9,19 @@
 
 import pytest
 
-from repro.core import CompilerOptions, compile_source
+from repro.core import CompilerOptions, PassManager, compile_source
 from repro.perf import PerfEstimator
 from repro.programs import appsp_source, dgefa_source, tomcatv_source
 
 PROCS = 16
 
+#: one manager for the whole module: each ablation pair compiles the
+#: same source twice, so the parse and front-end analyses are shared
+_MANAGER = PassManager()
+
 
 def simulated(source, **opts):
-    compiled = compile_source(source, CompilerOptions(**opts))
+    compiled = compile_source(source, CompilerOptions(**opts), manager=_MANAGER)
     return PerfEstimator(compiled).estimate().total_time
 
 

@@ -25,16 +25,21 @@ from .codegen import SequentialInterpreter, print_spmd, run_sequential
 from .comm import SP2, MachineModel
 from .core import (
     AlignedTo,
+    AnalysisCache,
     AnalysisContext,
     ArrayPrivatization,
+    BatchJob,
     CompiledProgram,
     CompilerOptions,
     FullyReplicatedReduction,
+    PassManager,
+    PipelineTimings,
     PrivateNoAlign,
     Replicated,
     ReductionMapping,
     ScalarMapping,
     build_context,
+    compile_many,
     compile_procedure,
     compile_source,
 )
@@ -54,16 +59,21 @@ __all__ = [
     "SP2",
     "MachineModel",
     "AlignedTo",
+    "AnalysisCache",
     "AnalysisContext",
     "ArrayPrivatization",
+    "BatchJob",
     "CompiledProgram",
     "CompilerOptions",
     "FullyReplicatedReduction",
+    "PassManager",
+    "PipelineTimings",
     "PrivateNoAlign",
     "Replicated",
     "ReductionMapping",
     "ScalarMapping",
     "build_context",
+    "compile_many",
     "compile_procedure",
     "compile_source",
     "Procedure",

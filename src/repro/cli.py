@@ -64,6 +64,11 @@ def _add_compile_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="infer array privatizability without NEW clauses (paper future work)",
     )
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="print the per-pass pipeline timings table",
+    )
 
 
 def _read_source(path: str) -> str:
@@ -78,6 +83,10 @@ def cmd_compile(args) -> int:
     args.procs_single = args.procs
     compiled = compile_source(source, _compiler_options(args))
     print(compiled.report())
+    if getattr(args, "timings", False):
+        print()
+        print("pipeline timings:")
+        print(compiled.timings.render())
     if getattr(args, "explain", False):
         from .core.diagnostics import diagnose, render_diagnostics
 
@@ -164,20 +173,29 @@ def cmd_run(args) -> int:
 
 
 def cmd_tables(args) -> int:
+    from .core.passes import PassManager
     from .report.tables import table1_tomcatv, table2_dgefa, table3_appsp
 
+    # One manager for every table: front-end analyses are shared across
+    # the compiler variants of each cell row.
+    manager = PassManager()
     builders = {
-        1: (lambda: table1_tomcatv(n=129, niter=3, procs=(1, 4, 16)))
+        1: (lambda: table1_tomcatv(n=129, niter=3, procs=(1, 4, 16), manager=manager))
         if args.fast
-        else table1_tomcatv,
-        2: (lambda: table2_dgefa(n=300, procs=(4, 16))) if args.fast else table2_dgefa,
-        3: (lambda: table3_appsp(n=32, niter=2, procs=(4, 16)))
+        else (lambda: table1_tomcatv(manager=manager)),
+        2: (lambda: table2_dgefa(n=300, procs=(4, 16), manager=manager))
         if args.fast
-        else table3_appsp,
+        else (lambda: table2_dgefa(manager=manager)),
+        3: (lambda: table3_appsp(n=32, niter=2, procs=(4, 16), manager=manager))
+        if args.fast
+        else (lambda: table3_appsp(manager=manager)),
     }
     for number in args.table:
         print(builders[number]().render())
         print()
+    if getattr(args, "timings", False):
+        print("pipeline timings (all tables):")
+        print(manager.metrics.render())
     return 0
 
 
@@ -231,6 +249,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables.add_argument("--table", type=int, nargs="+", default=[1, 2, 3],
                           choices=[1, 2, 3])
     p_tables.add_argument("--fast", action="store_true")
+    p_tables.add_argument(
+        "--timings",
+        action="store_true",
+        help="print the aggregated per-pass pipeline timings table",
+    )
     p_tables.set_defaults(func=cmd_tables)
     return parser
 

@@ -1,0 +1,64 @@
+"""Communication passes, registered into the core pass registry.
+
+Importing this module (``repro.comm.__init__`` does it, and the
+``repro`` package always imports ``repro.comm``) is what wires
+communication analysis into the default pipeline. This registration is
+the structural replacement for the lazy ``repro.comm`` import the
+driver used to hide in its function body: ``repro.core`` names these
+passes in :data:`~repro.core.passes.DEFAULT_PIPELINE` but never
+imports this package, so ``repro.core`` and ``repro.comm`` can be
+imported in either order.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.passes import Pass, PipelineState, register_pass
+from .analysis import CommAnalysis, CommOptions
+from .combine import combine_messages
+
+
+def _run_comm_analysis(state: PipelineState) -> dict[str, Any]:
+    report = CommAnalysis(
+        state["ctx"],
+        state["scalar_pass"],
+        state["array_result"].effective,
+        state["executors"],
+        state["cf_decisions"],
+        CommOptions(message_vectorization=state.options.message_vectorization),
+    ).run()
+    return {"comm": report}
+
+
+def _run_message_combining(state: PipelineState) -> dict[str, Any]:
+    return {"comm": combine_messages(state["comm"])}
+
+
+COMM_ANALYSIS = Pass(
+    name="comm-analysis",
+    run=_run_comm_analysis,
+    provides=("comm",),
+    requires=("ctx", "scalar_pass", "array_result", "executors", "cf_decisions"),
+    option_keys=("message_vectorization",),
+    cacheable=False,
+)
+
+MESSAGE_COMBINING = Pass(
+    name="message-combining",
+    run=_run_message_combining,
+    provides=("comm",),
+    requires=("comm",),
+    option_keys=("combine_messages",),
+    cacheable=False,
+    enabled=lambda options: getattr(options, "combine_messages", False),
+)
+
+
+def register() -> None:
+    """Idempotently (re-)register the communication passes."""
+    register_pass(COMM_ANALYSIS, replace=True)
+    register_pass(MESSAGE_COMBINING, replace=True)
+
+
+register()

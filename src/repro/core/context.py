@@ -1,11 +1,19 @@
 """Analysis context: one bundle of every program-analysis result the
 mapping passes need, built in the canonical pipeline order (paper
 Section 2.2: SSA construction, constant propagation and induction
-variable recognition precede the mapping pass)."""
+variable recognition precede the mapping pass).
+
+This module provides the *stages* — front-end analysis, induction
+substitution, reduction recognition, privatizability, directive
+resolution — as standalone functions. The pipeline that sequences,
+caches, and times them lives in :mod:`repro.core.passes`, which also
+exports :func:`~repro.core.passes.build_context`, the one-call
+convenience that produces an :class:`AnalysisContext`.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..analysis.constprop import ConstPropInfo, propagate_constants
 from ..analysis.dataflow import LivenessInfo, compute_liveness
@@ -42,56 +50,89 @@ class AnalysisContext:
     array_mappings: dict[str, ArrayMapping]
 
 
-def _analyze_once(proc: Procedure, grid: ProcessorGrid):
+@dataclass
+class FrontendAnalyses:
+    """The SSA-level front end: everything recomputed from scratch when
+    a transform pass mutates the statement tree."""
+
+    cfg: CFG
+    dom: DominatorInfo
+    liveness: LivenessInfo
+    ssa: SSAInfo
+    const: ConstPropInfo
+
+
+def analyze_frontend(proc: Procedure) -> FrontendAnalyses:
+    """CFG / dominance / liveness / pruned SSA / constant propagation."""
     cfg = build_cfg(proc)
     dom = compute_dominance(cfg)
     liveness = compute_liveness(cfg)
     ssa = SSAInfo(cfg, dom=dom, liveness=liveness)
     const = propagate_constants(ssa)
-    return cfg, dom, liveness, ssa, const
+    return FrontendAnalyses(cfg=cfg, dom=dom, liveness=liveness, ssa=ssa, const=const)
 
 
-def build_context(
+def resolve_grid(proc: Procedure, num_procs: int | None = None) -> ProcessorGrid:
+    """The processor grid: a PROCESSORS directive fixes the shape;
+    ``num_procs`` (total processor count) may rescale it
+    proportionally."""
+    if proc.processors is not None:
+        shape = proc.processors.shape
+        if num_procs is not None and num_procs != _prod(shape):
+            return default_grid(num_procs, rank=len(shape), name=proc.processors.name)
+        return ProcessorGrid(name=proc.processors.name, shape=tuple(shape))
+    return default_grid(num_procs or 1, rank=1)
+
+
+def substitute_inductions(
+    proc: Procedure, frontend: FrontendAnalyses
+) -> list[InductionVar]:
+    """Induction-variable recognition and closed-form substitution.
+    Mutates the statement tree (and bumps ``proc.ir_epoch``) when any
+    substitution applies."""
+    found = find_induction_vars(proc, frontend.ssa, frontend.const)
+    if not found:
+        return []
+    return substitute_induction_vars(
+        proc, found, cfg=frontend.cfg, ssa=frontend.ssa, dom=frontend.dom
+    )
+
+
+def recognize_reductions(
+    proc: Procedure, frontend: FrontendAnalyses
+) -> list[Reduction]:
+    return find_reductions(proc, frontend.ssa)
+
+
+def analyze_privatizability(
+    proc: Procedure, frontend: FrontendAnalyses
+) -> PrivatizabilityInfo:
+    return PrivatizabilityInfo(proc, frontend.cfg, frontend.ssa, frontend.liveness)
+
+
+def resolve_array_directives(
+    proc: Procedure, grid: ProcessorGrid
+) -> dict[str, ArrayMapping]:
+    return resolve_mappings(proc, grid)
+
+
+def assemble_context(
     proc: Procedure,
-    num_procs: int | None = None,
-    grid: ProcessorGrid | None = None,
-    substitute_inductions: bool = True,
+    grid: ProcessorGrid,
+    frontend: FrontendAnalyses,
+    inductions: list[InductionVar],
+    reductions: list[Reduction],
+    priv: PrivatizabilityInfo,
+    array_mappings: dict[str, ArrayMapping],
 ) -> AnalysisContext:
-    """Run the full analysis pipeline. If the program has a PROCESSORS
-    directive it fixes the grid shape; ``num_procs`` (total processor
-    count) may rescale it proportionally; an explicit ``grid`` overrides
-    everything."""
-    if grid is None:
-        if proc.processors is not None:
-            shape = proc.processors.shape
-            if num_procs is not None and num_procs != _prod(shape):
-                grid = default_grid(num_procs, rank=len(shape), name=proc.processors.name)
-            else:
-                grid = ProcessorGrid(name=proc.processors.name, shape=tuple(shape))
-        else:
-            grid = default_grid(num_procs or 1, rank=1)
-
-    cfg, dom, liveness, ssa, const = _analyze_once(proc, grid)
-    inductions: list[InductionVar] = []
-    if substitute_inductions:
-        found = find_induction_vars(proc, ssa, const)
-        if found:
-            inductions = substitute_induction_vars(
-                proc, found, cfg=cfg, ssa=ssa, dom=dom
-            )
-            cfg, dom, liveness, ssa, const = _analyze_once(proc, grid)
-
-    reductions = find_reductions(proc, ssa)
-    priv = PrivatizabilityInfo(proc, cfg, ssa, liveness)
-    array_mappings = resolve_mappings(proc, grid)
     return AnalysisContext(
         proc=proc,
         grid=grid,
-        cfg=cfg,
-        dom=dom,
-        liveness=liveness,
-        ssa=ssa,
-        const=const,
+        cfg=frontend.cfg,
+        dom=frontend.dom,
+        liveness=frontend.liveness,
+        ssa=frontend.ssa,
+        const=frontend.const,
         priv=priv,
         reductions=reductions,
         inductions=inductions,

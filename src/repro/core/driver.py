@@ -14,35 +14,35 @@
 6. owner-computes computation partitioning,
 7. communication analysis with message-vectorization placement.
 
-The result is a :class:`CompiledProgram` consumed by the performance
-estimator, the SPMD simulator, and the reports.
+Since the PassManager refactor the stages are named passes sequenced
+by :class:`~repro.core.passes.PassManager` (see
+``docs/ARCHITECTURE.md``); pass ``manager=`` to reuse one manager's
+analysis cache across compiles, or use :func:`compile_many` to batch
+whole ablation sweeps. The result of every entry point is a
+:class:`CompiledProgram` consumed by the performance estimator, the
+SPMD simulator, and the reports.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
 
-from ..comm.events import CommReport
 from ..model import SP2, MachineModel
-from ..ir.build import parse_and_build
 from ..ir.program import Procedure
 from ..mapping.descriptors import ArrayMapping
 from ..mapping.grid import ProcessorGrid
-from ..partition.owner_computes import ExecutorInfo, run_partitioning
-from .array_mapping import (
-    ArrayMappingOptions,
-    ArrayMappingResult,
-    run_array_mapping,
-)
-from .context import AnalysisContext, build_context
-from .control_flow import ControlFlowOptions, run_control_flow
+from ..partition.owner_computes import ExecutorInfo
+from .array_mapping import ArrayMappingResult
+from .context import AnalysisContext
 from .mapping_kinds import ControlFlowDecision, ScalarMapping
-from .scalar_mapping import (
-    STRATEGIES,
-    ScalarMappingOptions,
-    ScalarMappingPass,
-    run_scalar_mapping,
-)
+from .passes import PassManager, PipelineTimings
+from .scalar_mapping import STRATEGIES, ScalarMappingPass
+
+if TYPE_CHECKING:  # the comm pass provides this; no runtime dependency
+    from ..comm.events import CommReport
 
 
 @dataclass
@@ -71,6 +71,13 @@ class CompilerOptions:
             raise ValueError(
                 f"strategy must be one of {STRATEGIES}, got {self.strategy!r}"
             )
+        if self.num_procs is not None and (
+            not isinstance(self.num_procs, int) or self.num_procs < 1
+        ):
+            raise ValueError(
+                f"num_procs must be a positive processor count, "
+                f"got {self.num_procs!r}"
+            )
 
 
 @dataclass
@@ -85,6 +92,8 @@ class CompiledProgram:
     cf_decisions: dict[int, ControlFlowDecision]
     executors: dict[int, ExecutorInfo]
     comm: CommReport
+    #: per-pass wall-time metrics of this compilation
+    timings: PipelineTimings | None = None
 
     @property
     def grid(self) -> ProcessorGrid:
@@ -106,7 +115,6 @@ class CompiledProgram:
     def report(self) -> str:
         """Human-readable compilation report (examples use this)."""
         from ..ir.expr import ScalarRef
-        from ..ir.stmt import AssignStmt
 
         lines = [
             f"=== {self.proc.name} ===",
@@ -144,65 +152,114 @@ class CompiledProgram:
 
 
 def compile_procedure(
-    proc: Procedure, options: CompilerOptions | None = None
+    proc: Procedure,
+    options: CompilerOptions | None = None,
+    *,
+    manager: PassManager | None = None,
+    timings: PipelineTimings | None = None,
 ) -> CompiledProgram:
     options = options or CompilerOptions()
-    ctx = build_context(proc, num_procs=options.num_procs)
-    scalar_pass = run_scalar_mapping(
-        ctx,
-        ScalarMappingOptions(
-            strategy=options.strategy,
-            align_reductions=options.align_reductions,
-        ),
-    )
-    array_result = run_array_mapping(
-        ctx,
-        scalar_pass,
-        ArrayMappingOptions(
-            privatize_arrays=options.privatize_arrays,
-            partial_privatization=options.partial_privatization,
-            auto_privatization=options.auto_privatize_arrays,
-        ),
-    )
-    cf_decisions = run_control_flow(
-        ctx, ControlFlowOptions(privatize_control_flow=options.privatize_control_flow)
-    )
-    # Imported here (not at module level) to keep repro.core importable
-    # without repro.comm, which itself depends on repro.core.
-    from ..comm.analysis import CommAnalysis, CommOptions
-
-    executors = run_partitioning(
-        ctx,
-        scalar_pass,
-        array_result.effective,
-        cf_decisions,
-        array_result.privatizations,
-    )
-    comm = CommAnalysis(
-        ctx,
-        scalar_pass,
-        array_result.effective,
-        executors,
-        cf_decisions,
-        CommOptions(message_vectorization=options.message_vectorization),
-    ).run()
-    if options.combine_messages:
-        from ..comm.combine import combine_messages
-
-        comm = combine_messages(comm)
+    manager = manager or PassManager()
+    state, run_timings = manager.run(proc, options)
+    all_timings = (timings or PipelineTimings()).merge(run_timings)
     return CompiledProgram(
         proc=proc,
         options=options,
-        ctx=ctx,
-        scalar_pass=scalar_pass,
-        array_result=array_result,
-        cf_decisions=cf_decisions,
-        executors=executors,
-        comm=comm,
+        ctx=state["ctx"],
+        scalar_pass=state["scalar_pass"],
+        array_result=state["array_result"],
+        cf_decisions=state["cf_decisions"],
+        executors=state["executors"],
+        comm=state["comm"],
+        timings=all_timings,
     )
 
 
 def compile_source(
-    source: str, options: CompilerOptions | None = None
+    source: str,
+    options: CompilerOptions | None = None,
+    *,
+    manager: PassManager | None = None,
 ) -> CompiledProgram:
-    return compile_procedure(parse_and_build(source), options)
+    manager = manager or PassManager()
+    timings = PipelineTimings()
+    proc = manager.parse(source, timings)
+    return compile_procedure(proc, options, manager=manager, timings=timings)
+
+
+# ---------------------------------------------------------------------------
+# Batch compilation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One unit of :func:`compile_many` work."""
+
+    source: str
+    options: CompilerOptions = field(default_factory=CompilerOptions)
+    label: str | None = None
+
+
+def _as_job(job) -> BatchJob:
+    if isinstance(job, BatchJob):
+        return job
+    if isinstance(job, str):
+        return BatchJob(source=job)
+    source, options = job
+    return BatchJob(source=source, options=options)
+
+
+def _compile_group(source: str, options_list: list[CompilerOptions]):
+    """Pool worker: all ablations of one source share one manager, so
+    the parsed IR and every front-end analysis are computed once."""
+    manager = PassManager()
+    return [compile_source(source, o, manager=manager) for o in options_list]
+
+
+def compile_many(
+    jobs: Iterable[BatchJob | tuple[str, CompilerOptions] | str],
+    *,
+    processes: int | None = None,
+    manager: PassManager | None = None,
+) -> list[CompiledProgram]:
+    """Compile a batch of (source, options) jobs, returning one
+    :class:`CompiledProgram` per job in input order.
+
+    Jobs are grouped by source text; each group runs under one
+    :class:`PassManager`, so option ablations of the same program reuse
+    the cached parse and front-end analyses. Distinct groups run
+    concurrently on a process pool (the passes are pure-Python
+    CPU-bound work) sized ``min(processes or cpu_count, group count)``;
+    with a single group or a single CPU everything runs in-process,
+    where an explicit ``manager`` can also carry its cache in and out.
+    """
+    batch: list[BatchJob] = [_as_job(j) for j in jobs]
+    groups: dict[str, list[int]] = {}
+    for index, job in enumerate(batch):
+        groups.setdefault(job.source, []).append(index)
+
+    results: list[CompiledProgram | None] = [None] * len(batch)
+    if processes is None:
+        processes = os.cpu_count() or 1
+    processes = max(1, min(processes, len(groups)))
+
+    if processes == 1:
+        shared = manager or PassManager()
+        for source, indices in groups.items():
+            for index in indices:
+                results[index] = compile_source(
+                    source, batch[index].options, manager=shared
+                )
+    else:
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            futures = {
+                pool.submit(
+                    _compile_group, source, [batch[i].options for i in indices]
+                ): indices
+                for source, indices in groups.items()
+            }
+            for future, indices in futures.items():
+                for index, compiled in zip(indices, future.result()):
+                    results[index] = compiled
+    return results  # type: ignore[return-value]

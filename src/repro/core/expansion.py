@@ -32,7 +32,8 @@ from ..ir.expr import (
 from ..ir.program import AlignSpec, Procedure
 from ..ir.stmt import AssignStmt, IfStmt, LoopStmt, Stmt
 from ..ir.symbols import ScalarType, Symbol, SymbolKind
-from .context import AnalysisContext, build_context
+from .context import AnalysisContext
+from .passes import build_context
 from .mapping_kinds import AlignedTo
 
 

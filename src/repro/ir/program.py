@@ -4,6 +4,7 @@ and navigation helpers (loop nests, labels, statement/reference lookup).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 from ..errors import SemanticError
@@ -62,6 +63,15 @@ class Procedure:
     distributes: list[DistributeSpec] = field(default_factory=list)
     processors: ProcessorsSpec | None = None
 
+    #: process-unique identity, part of the analysis-cache fingerprint
+    #: (ids of garbage-collected procedures can be reused; this cannot)
+    uid: int = field(
+        default_factory=itertools.count(1).__next__, repr=False, compare=False
+    )
+    #: bumped by every finalize(); cached analyses keyed on an older
+    #: epoch are stale, since finalize() must follow any tree change
+    ir_epoch: int = field(default=0, repr=False, compare=False)
+
     # filled by finalize()
     _stmts_by_id: dict[int, Stmt] = field(default_factory=dict, repr=False)
     _stmts_by_label: dict[int, Stmt] = field(default_factory=dict, repr=False)
@@ -72,6 +82,7 @@ class Procedure:
     def finalize(self) -> "Procedure":
         """Compute parent-loop links, loop levels, and lookup tables.
         Must be called whenever the statement tree changes."""
+        self.ir_epoch += 1
         self._stmts_by_id.clear()
         self._stmts_by_label.clear()
         self._ref_to_stmt.clear()

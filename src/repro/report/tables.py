@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from ..comm.costmodel import MachineModel
 from ..core.driver import CompilerOptions, compile_source
+from ..core.passes import PassManager
 from ..perf.estimator import PerfEstimator
 from ..programs import appsp_source, dgefa_source, tomcatv_source
 
@@ -43,8 +44,13 @@ class Table:
         return "\n".join(lines)
 
 
-def _measure(source: str, options: CompilerOptions, machine: MachineModel | None) -> float:
-    compiled = compile_source(source, options)
+def _measure(
+    source: str,
+    options: CompilerOptions,
+    machine: MachineModel | None,
+    manager: PassManager | None = None,
+) -> float:
+    compiled = compile_source(source, options, manager=manager)
     estimator = PerfEstimator(compiled, machine)
     return estimator.estimate().total_time
 
@@ -54,6 +60,7 @@ def table1_tomcatv(
     niter: int = 5,
     procs: tuple[int, ...] = (1, 2, 4, 8, 16),
     machine: MachineModel | None = None,
+    manager: PassManager | None = None,
 ) -> Table:
     """Paper Table 1: TOMCATV under scalar replication / producer
     alignment / the selected-alignment algorithm."""
@@ -67,12 +74,13 @@ def table1_tomcatv(
             "baselines by more than two orders of magnitude at 16 procs."
         ),
     )
+    manager = manager or PassManager()
     for p in procs:
         src = tomcatv_source(n=n, niter=niter, procs=p)
         row = [
-            _measure(src, CompilerOptions(strategy="replication"), machine),
-            _measure(src, CompilerOptions(strategy="producer"), machine),
-            _measure(src, CompilerOptions(strategy="selected"), machine),
+            _measure(src, CompilerOptions(strategy="replication"), machine, manager),
+            _measure(src, CompilerOptions(strategy="producer"), machine, manager),
+            _measure(src, CompilerOptions(strategy="selected"), machine, manager),
         ]
         table.rows.append((p, row))
     return table
@@ -82,6 +90,7 @@ def table2_dgefa(
     n: int = 1000,
     procs: tuple[int, ...] = (2, 4, 8, 16),
     machine: MachineModel | None = None,
+    manager: PassManager | None = None,
 ) -> Table:
     """Paper Table 2: DGEFA with the pivot reduction scalars replicated
     ('Default') vs aligned with the owning column ('Alignment')."""
@@ -95,11 +104,12 @@ def table2_dgefa(
             "to the owning column; only the pivot index travels."
         ),
     )
+    manager = manager or PassManager()
     for p in procs:
         src = dgefa_source(n=n, procs=p)
         row = [
-            _measure(src, CompilerOptions(align_reductions=False), machine),
-            _measure(src, CompilerOptions(align_reductions=True), machine),
+            _measure(src, CompilerOptions(align_reductions=False), machine, manager),
+            _measure(src, CompilerOptions(align_reductions=True), machine, manager),
         ]
         table.rows.append((p, row))
     return table
@@ -110,6 +120,7 @@ def table3_appsp(
     niter: int = 5,
     procs: tuple[int, ...] = (2, 4, 8, 16),
     machine: MachineModel | None = None,
+    manager: PassManager | None = None,
 ) -> Table:
     """Paper Table 3: APPSP under 1-D / 2-D distributions with and
     without (partial) array privatization."""
@@ -129,14 +140,15 @@ def table3_appsp(
             "partial privatization exposes both levels of parallelism."
         ),
     )
+    manager = manager or PassManager()
     for p in procs:
         src_1d = appsp_source(nx=n, ny=n, nz=n, niter=niter, procs=p, distribution="1d")
         src_2d = appsp_source(nx=n, ny=n, nz=n, niter=niter, procs=p, distribution="2d")
         row = [
-            _measure(src_1d, CompilerOptions(privatize_arrays=False), machine),
-            _measure(src_1d, CompilerOptions(), machine),
-            _measure(src_2d, CompilerOptions(partial_privatization=False), machine),
-            _measure(src_2d, CompilerOptions(), machine),
+            _measure(src_1d, CompilerOptions(privatize_arrays=False), machine, manager),
+            _measure(src_1d, CompilerOptions(), machine, manager),
+            _measure(src_2d, CompilerOptions(partial_privatization=False), machine, manager),
+            _measure(src_2d, CompilerOptions(), machine, manager),
         ]
         table.rows.append((p, row))
     return table

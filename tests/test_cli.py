@@ -52,6 +52,17 @@ class TestCompile:
         with pytest.raises(SystemExit):
             main(["compile", program_file, "--strategy", "bogus"])
 
+    def test_timings_flag(self, program_file, capsys):
+        assert main(["compile", program_file, "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline timings:" in out
+        for pass_name in ("parse", "ssa", "scalar-mapping", "comm-analysis"):
+            assert pass_name in out
+
+    def test_no_timings_by_default(self, program_file, capsys):
+        assert main(["compile", program_file]) == 0
+        assert "pipeline timings:" not in capsys.readouterr().out
+
 
 class TestEstimate:
     def test_sweep(self, program_file, capsys):
@@ -93,6 +104,19 @@ class TestTables:
         assert main(["tables", "--table", "2", "3", "--fast"]) == 0
         out = capsys.readouterr().out
         assert "DGEFA" in out and "APPSP" in out
+
+    def test_timings_flag(self, capsys):
+        assert main(["tables", "--table", "2", "--fast", "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline timings (all tables):" in out
+        assert "scalar-mapping" in out
+        # the DGEFA row compiles one source under two variants: the
+        # shared manager must report front-end cache hits
+        import re
+
+        row = next(l for l in out.splitlines() if l.startswith("ssa "))
+        cached = int(re.split(r"\s+", row.strip())[2])
+        assert cached >= 1
 
 
 class TestStdin:
