@@ -32,11 +32,24 @@ class ValueReader:
         raise NotImplementedError
 
 
+def fortran_int_div(left: int, right: int) -> int:
+    """Sign-correct truncating (toward-zero) integer division.
+
+    Fortran's ``/`` truncates toward zero; Python's ``//`` floors, and
+    ``int(left / right)`` rounds through a float, losing precision for
+    operands beyond 2**53.
+    """
+    q = left // right
+    if q < 0 and q * right != left:
+        q += 1
+    return q
+
+
 def eval_subscripts(
     ref: ArrayElemRef, reader: ValueReader, env: dict[str, int]
 ) -> tuple[int, ...]:
     index = []
-    for dim, sub in enumerate(ref.subscripts):
+    for sub in ref.subscripts:
         value = eval_expr(sub, reader, env)
         index.append(int(value))
     symbol = ref.symbol
@@ -91,7 +104,7 @@ def _apply_binop(op: str, left, right):
         if isinstance(left, int) and isinstance(right, int):
             if right == 0:
                 raise InterpreterError("integer division by zero")
-            return int(left / right)  # Fortran truncates toward zero
+            return fortran_int_div(left, right)  # Fortran truncates toward zero
         if right == 0:
             raise InterpreterError("division by zero")
         return left / right

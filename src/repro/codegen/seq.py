@@ -80,6 +80,42 @@ class GlobalStore(ValueReader):
         return self.scalars.get(name.upper())
 
 
+class LoweredSequentialHooks(ExecutionHooks):
+    """Sequential execution through the one-time-lowered statement
+    closures (``repro.machine.lowering``), with the plain global store
+    as the reader. Statements without a lowered closure fall back to
+    the tree-walking hooks."""
+
+    def __init__(self, store: GlobalStore, lowered):
+        self.store = store
+        self.lowered = lowered
+        self._slow = SequentialHooks(store)
+
+    def assign(self, stmt: AssignStmt, env: dict[str, int]) -> None:
+        fn = self.lowered.assigns.get(stmt.stmt_id)
+        if fn is None:
+            return self._slow.assign(stmt, env)
+        index, value = fn(self.store, env)
+        name, lows = self.lowered.lhs_info[stmt.stmt_id]
+        if index is None:
+            self.store.scalars[name] = value
+        else:
+            off = tuple(i - lo for i, lo in zip(index, lows))
+            self.store.arrays[name][off] = value
+
+    def eval_condition(self, stmt: IfStmt, env: dict[str, int]) -> bool:
+        fn = self.lowered.conds.get(stmt.stmt_id)
+        if fn is None:
+            return self._slow.eval_condition(stmt, env)
+        return fn(self.store, env)
+
+    def eval_bound(self, expr, env: dict[str, int]) -> int:
+        fn = self.lowered.bounds.get(id(expr))
+        if fn is None:
+            return self._slow.eval_bound(expr, env)
+        return fn(self.store, env)
+
+
 class SequentialHooks(ExecutionHooks):
     def __init__(self, store: GlobalStore):
         self.store = store
@@ -110,18 +146,32 @@ class SequentialInterpreter:
         result = interp.store.get_array("A")
     """
 
-    def __init__(self, proc: Procedure):
+    def __init__(self, proc: Procedure, fast_path: bool = True):
         self.proc = proc
         self.store = GlobalStore(proc)
+        self.fast_path = fast_path
 
     def run(self):
-        walker = Walker(self.proc, SequentialHooks(self.store))
+        if self.fast_path:
+            # deferred import: repro.machine imports this module
+            from ..machine.lowering import lower_procedure
+
+            hooks: ExecutionHooks = LoweredSequentialHooks(
+                self.store, lower_procedure(self.proc)
+            )
+        else:
+            hooks = SequentialHooks(self.store)
+        walker = Walker(self.proc, hooks)
         return walker.run()
 
 
-def run_sequential(proc: Procedure, inputs: dict[str, np.ndarray] | None = None):
+def run_sequential(
+    proc: Procedure,
+    inputs: dict[str, np.ndarray] | None = None,
+    fast_path: bool = True,
+):
     """Convenience: run and return the final store."""
-    interp = SequentialInterpreter(proc)
+    interp = SequentialInterpreter(proc, fast_path=fast_path)
     for name, values in (inputs or {}).items():
         interp.store.set_array(name, values)
     interp.run()

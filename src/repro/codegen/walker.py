@@ -73,6 +73,10 @@ class Walker:
         self.hooks = hooks
         self.env: dict[str, int] = {}
         self.stats = WalkStats()
+        #: id(statement list) -> label -> index, so GOTO resolution does
+        #: not rescan the list on every jump (DGEFA's pivot loop); the
+        #: lists stay alive through ``proc``, keeping the ids stable.
+        self._label_maps: dict[int, dict[int, int]] = {}
 
     def run(self) -> WalkStats:
         try:
@@ -92,13 +96,23 @@ class Walker:
         while i < len(stmts):
             jump = self._exec_stmt(stmts[i])
             if jump is not None:
-                target = self._index_of_label(stmts, jump)
+                target = self._labels_of(stmts).get(jump)
                 if target is None:
                     return jump
                 i = target
                 continue
             i += 1
         return None
+
+    def _labels_of(self, stmts: list[Stmt]) -> dict[int, int]:
+        table = self._label_maps.get(id(stmts))
+        if table is None:
+            table = {}
+            for k, stmt in enumerate(stmts):
+                if stmt.label is not None and stmt.label not in table:
+                    table[stmt.label] = k
+            self._label_maps[id(stmts)] = table
+        return table
 
     @staticmethod
     def _index_of_label(stmts: list[Stmt], label: int) -> int | None:

@@ -41,8 +41,9 @@ from .mapping_kinds import ControlFlowDecision, ScalarMapping
 from .passes import PassManager, PipelineTimings
 from .scalar_mapping import STRATEGIES, ScalarMappingPass
 
-if TYPE_CHECKING:  # the comm pass provides this; no runtime dependency
+if TYPE_CHECKING:  # provided by comm/machine passes; no runtime dependency
     from ..comm.events import CommReport
+    from ..machine.lowering import LoweredIR
 
 
 @dataclass
@@ -94,6 +95,9 @@ class CompiledProgram:
     comm: CommReport
     #: per-pass wall-time metrics of this compilation
     timings: PipelineTimings | None = None
+    #: statement closures from the lowering pass (the simulator's fast
+    #: path); None when a custom pipeline skipped it
+    lowering: "LoweredIR | None" = None
 
     @property
     def grid(self) -> ProcessorGrid:
@@ -172,6 +176,7 @@ def compile_procedure(
         executors=state["executors"],
         comm=state["comm"],
         timings=all_timings,
+        lowering=state.products.get("lowering"),
     )
 
 

@@ -294,6 +294,7 @@ DEFAULT_PIPELINE: tuple[str, ...] = (
     "partitioning",
     "comm-analysis",
     "message-combining",
+    "lowering",
 )
 
 
@@ -670,6 +671,25 @@ register_pass(
         provides=("executors",),
         requires=("ctx", "scalar_pass", "array_result", "cf_decisions"),
         cacheable=False,
+    )
+)
+
+
+def _run_lowering(state: PipelineState) -> dict[str, Any]:
+    """Lower every statement to cached closures (the simulator's fast
+    path). Keyed only on the IR fingerprint, so every option ablation
+    of a procedure shares one lowering."""
+    # deferred import: repro.machine depends on repro.core
+    from ..machine.lowering import lower_procedure
+
+    return {"lowering": lower_procedure(state.proc)}
+
+
+register_pass(
+    Pass(
+        name="lowering",
+        run=_run_lowering,
+        provides=("lowering",),
     )
 )
 

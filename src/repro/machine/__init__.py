@@ -1,13 +1,17 @@
 """Simulated distributed-memory machine: per-node memory with validity
 tracking, virtual clocks, and the SPMD execution engine."""
 
-from .memory import NodeMemory, initialize_array
+from .lowering import LoweredIR, lower_procedure
+from .memory import NodeMemory, initialize_array, ownership_mask
 from .simulator import SPMDSimulator, simulate
 from .stats import Clocks, TrafficStats
 
 __all__ = [
     "NodeMemory",
     "initialize_array",
+    "ownership_mask",
+    "LoweredIR",
+    "lower_procedure",
     "SPMDSimulator",
     "simulate",
     "Clocks",

@@ -21,7 +21,7 @@ import numpy as np
 from ..errors import SimulationError
 from ..ir.program import Procedure
 from ..ir.symbols import ScalarType, Symbol
-from ..mapping.descriptors import ArrayMapping
+from ..mapping.descriptors import ArrayMapping, GridDimRole
 
 
 def _dtype_of(symbol: Symbol):
@@ -42,11 +42,16 @@ class NodeMemory:
         self.scalars: dict[str, float | int | bool] = {}
         self.scalar_valid: dict[str, bool] = {}
         self._lows: dict[str, tuple[int, ...]] = {}
+        #: per-array mutation counters, bumped on any store/invalidate;
+        #: the fast path's staged block transfers use them to know when
+        #: a snapshot of a source slab is still current
+        self.versions: dict[str, int] = {}
         for symbol in proc.symbols.arrays():
             shape = tuple(symbol.extent(d) for d in range(symbol.rank))
             self.arrays[symbol.name] = np.zeros(shape, dtype=_dtype_of(symbol))
             self.valid[symbol.name] = np.zeros(shape, dtype=np.bool_)
             self._lows[symbol.name] = tuple(lo for lo, _ in symbol.dims)
+            self.versions[symbol.name] = 0
 
     # -- index helpers -----------------------------------------------------
 
@@ -66,9 +71,11 @@ class NodeMemory:
         off = self.offset(name, index)
         self.arrays[name][off] = value
         self.valid[name][off] = True
+        self.versions[name] += 1
 
     def array_invalidate(self, name: str, index: tuple[int, ...]) -> None:
         self.valid[name][self.offset(name, index)] = False
+        self.versions[name] += 1
 
     # -- scalars ------------------------------------------------------------------
 
@@ -90,6 +97,41 @@ class NodeMemory:
         self.scalar_valid[name] = False
 
 
+def _owner_vector(role: GridDimRole, low: int, count: int) -> np.ndarray:
+    """Owning grid coordinate of every global index along one
+    distributed dimension (vectorized ``fmt.owner(template_pos(i))``)."""
+    idx = np.arange(low, low + count, dtype=np.int64)
+    pos = role.stride * idx + role.norm_offset
+    fmt = role.fmt
+    bad = (pos < 0) | (pos >= fmt.extent)
+    if bad.any():
+        # raise the canonical MappingError at the first bad position
+        fmt.owner(int(pos[int(np.argmax(bad))]))
+    if fmt.kind == "block":
+        return pos // fmt.block_size
+    return (pos // fmt.chunk) % fmt.procs
+
+
+def ownership_mask(mapping: ArrayMapping, rank: int) -> np.ndarray:
+    """Boolean mask over the full global shape of the elements ``rank``
+    owns — the vectorized form of ``mapping.owned_global_indices``."""
+    symbol = mapping.array
+    coords = mapping.grid.coords_of(rank)
+    vecs: list[np.ndarray] = []
+    for dim in range(symbol.rank):
+        low, high = symbol.dims[dim]
+        count = high - low + 1
+        g = mapping.grid_dim_of_array_dim(dim)
+        if g is None:
+            vecs.append(np.ones(count, dtype=np.bool_))
+        else:
+            vecs.append(_owner_vector(mapping.roles[g], low, count) == coords[g])
+    mask = vecs[0]
+    for vec in vecs[1:]:
+        mask = np.logical_and.outer(mask, vec)
+    return mask
+
+
 def initialize_array(
     memories: list[NodeMemory],
     mapping: ArrayMapping,
@@ -105,8 +147,7 @@ def initialize_array(
                 f"shape mismatch initializing {name}: "
                 f"{values.shape} vs {memory.arrays[name].shape}"
             )
-        memory.arrays[name][...] = values
-        memory.valid[name][...] = False
     for rank, memory in enumerate(memories):
-        for index in mapping.owned_global_indices(rank):
-            memory.valid[name][memory.offset(name, index)] = True
+        memory.arrays[name][...] = values
+        memory.valid[name][...] = ownership_mask(mapping, rank)
+        memory.versions[name] += 1

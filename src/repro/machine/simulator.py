@@ -23,6 +23,8 @@ but large problem sizes are priced by ``repro.perf`` instead.
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from ..codegen.evalexpr import ValueReader, coerce_store, eval_expr, eval_subscripts
@@ -37,7 +39,8 @@ from ..core.mapping_kinds import (
 from ..errors import SimulationError
 from ..ir.expr import AffineForm, ArrayElemRef, ScalarRef
 from ..ir.stmt import AssignStmt, IfStmt, LoopStmt, Stmt
-from .memory import NodeMemory, initialize_array
+from .lowering import FastHooks, FastPath
+from .memory import NodeMemory, initialize_array, ownership_mask
 from .stats import Clocks, Trace, TrafficStats
 
 
@@ -110,8 +113,13 @@ class SPMDSimulator:
         compiled: CompiledProgram,
         machine: MachineModel | None = None,
         trace_capacity: int = 0,
+        fast_path: bool = True,
     ):
         self.compiled = compiled
+        #: escape hatch: False runs the original tree-walking executor;
+        #: the parity tests assert both paths agree bit-for-bit
+        self.fast_path = fast_path
+        self._fast: FastPath | None = None
         self.proc = compiled.proc
         self.grid = compiled.grid
         self.machine = machine or compiled.options.machine
@@ -136,6 +144,8 @@ class SPMDSimulator:
         self._reduction_updates: dict[int, tuple] = {}
         self._reductions_by_loop: dict[int, list] = {}
         self._reduction_snapshots: dict[int, dict[int, float]] = {}
+        #: name -> per-rank ownership masks, cached for gather()
+        self._owner_masks: dict[str, list[np.ndarray]] = {}
         self._index_reductions()
         # Zero-initialize every array with ownership validity (matching
         # the sequential interpreter's zero-filled global store);
@@ -186,7 +196,13 @@ class SPMDSimulator:
         initialize_array(self.memories, mapping, values)
 
     def run(self):
-        walker = Walker(self.proc, _SPMDHooks(self))
+        if self.fast_path:
+            if self._fast is None:
+                self._fast = FastPath(self)
+            hooks: ExecutionHooks = FastHooks(self._fast)
+        else:
+            hooks = _SPMDHooks(self)
+        walker = Walker(self.proc, hooks)
         return walker.run()
 
     # ==================================================================
@@ -315,8 +331,6 @@ class SPMDSimulator:
         return total
 
     def _ranks_of_position(self, position, env) -> list[int]:
-        import itertools
-
         axes: list[list[int]] = []
         for g, dim in enumerate(position):
             procs = self.grid.shape[g]
@@ -432,8 +446,6 @@ class SPMDSimulator:
         """Groups of ranks combining together: the aligned (non-reduced)
         coordinates are fixed by the target's position; the reduction
         dims span all coordinates."""
-        import itertools
-
         target_mapping = self.compiled.mappings[mapping.target.symbol.name]
         axes: list[list[int]] = []
         for g in range(self.grid.rank):
@@ -495,8 +507,6 @@ class SPMDSimulator:
         """Element-wise combine of an array-valued reduction at the
         reduction loop's exit (paper Section 3.1): for each accumulator
         element, merge the partials held by its owner group."""
-        import itertools
-
         name = reduction.symbol.name
         acc_mapping = self.compiled.mappings[name]
         symbol = acc_mapping.array
@@ -610,20 +620,45 @@ class SPMDSimulator:
     # Results
     # ==================================================================
 
+    def _masks_of(self, name: str) -> list[np.ndarray]:
+        masks = self._owner_masks.get(name)
+        if masks is None:
+            mapping = self.compiled.mappings[name]
+            masks = [ownership_mask(mapping, r) for r in self.grid.all_ranks()]
+            self._owner_masks[name] = masks
+        return masks
+
     def gather(self, name: str) -> np.ndarray:
-        """Reassemble the global array from owning ranks."""
+        """Reassemble the global array from owning ranks (vectorized
+        ``authoritative_array`` over the whole index space: pass 1 takes
+        each element from its lowest-ranked valid owner, pass 2 from the
+        lowest-ranked valid copy anywhere — the interpreted element-wise
+        lookup order, so the result is bit-identical)."""
         name = name.upper()
         mapping = self.compiled.mappings[name]
         symbol = mapping.array
         shape = tuple(symbol.extent(d) for d in range(symbol.rank))
         result = np.zeros(shape, dtype=self.memories[0].arrays[name].dtype)
-        import itertools
-
-        ranges = [range(lo, hi + 1) for lo, hi in symbol.dims]
-        for index in itertools.product(*ranges):
-            value = self.authoritative_array(name, index)
-            offset = tuple(idx - lo for idx, (lo, _) in zip(index, symbol.dims))
-            result[offset] = value
+        filled = np.zeros(shape, dtype=np.bool_)
+        masks = self._masks_of(name)
+        for rank, memory in enumerate(self.memories):
+            take = memory.valid[name] & masks[rank]
+            take &= ~filled
+            if take.any():
+                result[take] = memory.arrays[name][take]
+                filled |= take
+        if not filled.all():
+            for memory in self.memories:
+                take = memory.valid[name] & ~filled
+                if take.any():
+                    result[take] = memory.arrays[name][take]
+                    filled |= take
+        if not filled.all():
+            offset = np.unravel_index(int(np.argmax(~filled)), shape)
+            index = tuple(
+                int(o) + lo for o, (lo, _) in zip(offset, symbol.dims)
+            )
+            raise SimulationError(f"no valid copy of {name}{index} anywhere")
         return result
 
     def gather_scalar(self, name: str):
@@ -639,8 +674,11 @@ def simulate(
     inputs: dict[str, np.ndarray] | None = None,
     machine: MachineModel | None = None,
     trace_capacity: int = 0,
+    fast_path: bool = True,
 ) -> SPMDSimulator:
-    sim = SPMDSimulator(compiled, machine, trace_capacity=trace_capacity)
+    sim = SPMDSimulator(
+        compiled, machine, trace_capacity=trace_capacity, fast_path=fast_path
+    )
     for name, values in (inputs or {}).items():
         sim.set_array(name, values)
     sim.run()

@@ -27,6 +27,22 @@ class TrafficStats:
         else:
             self.per_event_fetches[key] = self.per_event_fetches.get(key, 0) + 1
 
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot (tuple keys stringified), used by
+        the benchmarks to assert fast-path/interpreted identity."""
+        return {
+            "messages": self.messages,
+            "elements": self.elements,
+            "fetches": self.fetches,
+            "unexpected_fetches": self.unexpected_fetches,
+            "broadcasts": self.broadcasts,
+            "reductions": self.reductions,
+            "per_event_fetches": {
+                f"S{sid}/r{rid}": count
+                for (sid, rid), count in sorted(self.per_event_fetches.items())
+            },
+        }
+
 
 @dataclass
 class TraceRecord:
@@ -118,6 +134,14 @@ class Clocks:
         for r in ranks:
             self.time[r] = start + dt
             self.comm_time[r] += dt
+
+    def snapshot(self) -> dict[str, list[float]]:
+        """Exact per-rank clock values, for bit-for-bit comparisons."""
+        return {
+            "time": list(self.time),
+            "compute_time": list(self.compute_time),
+            "comm_time": list(self.comm_time),
+        }
 
     @property
     def elapsed(self) -> float:
