@@ -51,6 +51,21 @@ class ExecutionHooks:
     def loop_exit(self, stmt: LoopStmt, env: dict[str, int]) -> None:
         pass
 
+    def run_loop(
+        self,
+        stmt: LoopStmt,
+        low: int,
+        high: int,
+        step: int,
+        env: dict[str, int],
+    ) -> bool:
+        """Whole-loop takeover point: return True after executing every
+        iteration of the loop (bounds already evaluated), and the walker
+        skips its per-iteration while loop.  ``loop_enter`` has fired;
+        ``loop_exit`` and the Fortran index-variable epilogue still run.
+        The default executes nothing and declines."""
+        return False
+
     def call(self, stmt: CallStmt, env: dict[str, int]) -> None:
         raise InterpreterError(f"CALL {stmt.name} is not supported")
 
@@ -157,6 +172,11 @@ class Walker:
         index = low
         saved = self.env.get(stmt.var.name)
         try:
+            if self.hooks.run_loop(stmt, low, high, step, self.env):
+                trips = max(0, (high - low + step) // step)
+                self.stats.loop_iterations += trips
+                index = low + trips * step
+                return None
             while (step > 0 and index <= high) or (step < 0 and index >= high):
                 self.env[stmt.var.name] = index
                 self.stats.loop_iterations += 1

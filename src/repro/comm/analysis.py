@@ -236,6 +236,17 @@ class CommAnalysis:
         return elements
 
 
+def hoisted_loop_vars(event: CommEvent, stmt: Stmt) -> tuple[str, ...]:
+    """Loop variables that remain *outside* a placed transfer: the
+    enclosing loops at or above the event's placement level.  Fetch
+    coalescing keys on their runtime values — two iterations that only
+    differ in loops the message was hoisted out of share one message."""
+    level = event.placement_level
+    return tuple(
+        loop.var.name for loop in stmt.loops_enclosing() if loop.level <= level
+    )
+
+
 def positions_union(positions: list[Position], grid_rank: int) -> Position:
     """Union of executor sets, dimension-wise: identical positions stay
     exact; differing positions widen to 'any' (conservative)."""

@@ -44,6 +44,7 @@ from .scalar_mapping import STRATEGIES, ScalarMappingPass
 if TYPE_CHECKING:  # provided by comm/machine passes; no runtime dependency
     from ..comm.events import CommReport
     from ..machine.lowering import LoweredIR
+    from ..machine.slabexec import SlabReport
 
 
 @dataclass
@@ -98,6 +99,9 @@ class CompiledProgram:
     #: statement closures from the lowering pass (the simulator's fast
     #: path); None when a custom pipeline skipped it
     lowering: "LoweredIR | None" = None
+    #: slab-eligibility report from the slabexec pass (the simulator's
+    #: tier-3 engine); None when a custom pipeline skipped it
+    slabs: "SlabReport | None" = None
 
     @property
     def grid(self) -> ProcessorGrid:
@@ -177,6 +181,7 @@ def compile_procedure(
         comm=state["comm"],
         timings=all_timings,
         lowering=state.products.get("lowering"),
+        slabs=state.products.get("slabexec"),
     )
 
 

@@ -295,6 +295,7 @@ DEFAULT_PIPELINE: tuple[str, ...] = (
     "comm-analysis",
     "message-combining",
     "lowering",
+    "slabexec",
 )
 
 
@@ -690,6 +691,40 @@ register_pass(
         name="lowering",
         run=_run_lowering,
         provides=("lowering",),
+    )
+)
+
+
+def _run_slabexec(state: PipelineState) -> dict[str, Any]:
+    """Classify every loop nest for the simulator's tier-3 slab engine
+    (eligibility only — the runtime plans are built lazily per run).
+    Depends on executors and communication placement, so it runs
+    per-ablation and stays uncached like the mapping back end."""
+    # deferred import: repro.machine depends on repro.core
+    from ..machine.slabexec import classify_procedure
+
+    ctx = state["ctx"]
+    reduction_ids = {
+        s.stmt_id for red in ctx.reductions for s in red.update_stmts
+    }
+    return {
+        "slabexec": classify_procedure(
+            state.proc,
+            state["executors"],
+            state["comm"].events,
+            reduction_ids,
+            grid_rank=state["grid"].rank,
+        )
+    }
+
+
+register_pass(
+    Pass(
+        name="slabexec",
+        run=_run_slabexec,
+        provides=("slabexec",),
+        requires=("ctx", "grid", "executors", "comm"),
+        cacheable=False,
     )
 )
 

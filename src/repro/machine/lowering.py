@@ -49,6 +49,7 @@ from ..codegen.evalexpr import (
     fortran_int_div,
 )
 from ..codegen.walker import ExecutionHooks
+from ..comm.analysis import hoisted_loop_vars
 from ..comm.costmodel import flops_of_expr
 from ..core.mapping_kinds import ReductionMapping
 from ..errors import InterpreterError, SimulationError
@@ -800,15 +801,7 @@ class FetchEngine:
             if event is None:
                 meta = (None, None)
             else:
-                p = event.placement_level
-                meta = (
-                    event,
-                    tuple(
-                        loop.var.name
-                        for loop in stmt.loops_enclosing()
-                        if loop.level <= p
-                    ),
-                )
+                meta = (event, hoisted_loop_vars(event, stmt))
             self._meta[(sid, rid)] = meta
         event, outer_names = meta
         if event is None:
@@ -879,6 +872,27 @@ class FetchEngine:
 # ---------------------------------------------------------------------------
 
 
+class _RankTables(dict):
+    """name -> (data, valid, lows, memory) handle tuples, built on
+    first use so lazily-allocated arrays stay unallocated on ranks that
+    never touch them."""
+
+    def __init__(self, memory):
+        super().__init__()
+        self._memory = memory
+
+    def __missing__(self, name):
+        memory = self._memory
+        rec = (
+            memory.arrays[name],
+            memory.valid[name],
+            memory._lows[name],
+            memory,
+        )
+        self[name] = rec
+        return rec
+
+
 class _FastReader:
     """Per-rank reader with direct storage handles — the lowered-closure
     counterpart of ``_FetchingReader``."""
@@ -893,11 +907,7 @@ class _FastReader:
         memory = sim.memories[rank]
         self.scalars = memory.scalars
         self.scalar_valid = memory.scalar_valid
-        self.tables = {
-            name: (memory.arrays[name], memory.valid[name],
-                   memory._lows[name], memory)
-            for name in memory.arrays
-        }
+        self.tables = _RankTables(memory)
 
     def read_scalar(self, ref, env):
         name = ref.symbol.name
@@ -939,6 +949,8 @@ class FastPath:
         }
         self._assign_recs: dict[int, Any] = {}
         self._cond_recs: dict[int, Any] = {}
+        #: tier 3, created on the first loop takeover attempt
+        self.slab: Any = None
 
     # -- assignments -------------------------------------------------------
 
@@ -963,6 +975,7 @@ class FastPath:
 
     def exec_assign(self, stmt, env) -> None:
         sid = stmt.stmt_id
+        self.sim.interp_instances += 1
         rec = self._assign_recs.get(sid)
         if rec is None:
             rec = self._assign_rec(stmt)
@@ -1022,6 +1035,7 @@ class FastPath:
 
     def exec_condition(self, stmt, env) -> bool:
         sid = stmt.stmt_id
+        self.sim.interp_instances += 1
         rec = self._cond_recs.get(sid)
         if rec is None:
             fn = self.lowered.conds.get(sid)
@@ -1098,3 +1112,14 @@ class FastHooks(ExecutionHooks):
 
     def loop_exit(self, stmt, env) -> None:
         self.sim.on_loop_exit(stmt, env)
+
+    def run_loop(self, stmt, low, high, step, env) -> bool:
+        sim = self.sim
+        if not sim.slab_path or sim.trace.enabled:
+            return False
+        slab = self.fast.slab
+        if slab is None:
+            from .slabexec import SlabExecutor
+
+            slab = self.fast.slab = SlabExecutor(self.fast)
+        return slab.run_loop(stmt, low, high, step, env)

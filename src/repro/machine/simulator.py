@@ -92,9 +92,11 @@ class _SPMDHooks(ExecutionHooks):
         self.sim = sim
 
     def assign(self, stmt: AssignStmt, env):
+        self.sim.interp_instances += 1
         self.sim.exec_assign(stmt, env)
 
     def eval_condition(self, stmt: IfStmt, env) -> bool:
+        self.sim.interp_instances += 1
         return self.sim.exec_condition(stmt, env)
 
     def eval_bound(self, expr, env) -> int:
@@ -114,12 +116,20 @@ class SPMDSimulator:
         machine: MachineModel | None = None,
         trace_capacity: int = 0,
         fast_path: bool = True,
+        slab_path: bool = True,
     ):
         self.compiled = compiled
         #: escape hatch: False runs the original tree-walking executor;
         #: the parity tests assert both paths agree bit-for-bit
         self.fast_path = fast_path
+        #: tier 3: vectorized slab kernels for eligible loop nests
+        #: (requires fast_path; False times the lowered closures alone)
+        self.slab_path = slab_path
         self._fast: FastPath | None = None
+        #: dynamic statement instances executed as slabs vs one at a
+        #: time — the bench's eligibility-coverage metric
+        self.slab_instances = 0
+        self.interp_instances = 0
         self.proc = compiled.proc
         self.grid = compiled.grid
         self.machine = machine or compiled.options.machine
@@ -146,17 +156,21 @@ class SPMDSimulator:
         self._reduction_snapshots: dict[int, dict[int, float]] = {}
         #: name -> per-rank ownership masks, cached for gather()
         self._owner_masks: dict[str, list[np.ndarray]] = {}
+        #: executor-set caches: per-statement "runs everywhere" flag and
+        #: position-form-value -> rank list (satellite: stop rebuilding
+        #: the itertools product on every statement instance)
+        self._all_ranks = list(self.grid.all_ranks())
+        self._exec_everywhere: dict[int, bool] = {}
+        self._ranks_cache: dict[tuple, list[int]] = {}
         self._index_reductions()
         # Zero-initialize every array with ownership validity (matching
         # the sequential interpreter's zero-filled global store);
-        # set_array overwrites the contents afterwards.
+        # set_array overwrites the contents afterwards.  Kept pending so
+        # untouched arrays on non-executor ranks never allocate.
         for symbol in self.proc.symbols.arrays():
-            shape = tuple(symbol.extent(d) for d in range(symbol.rank))
-            initialize_array(
-                self.memories,
-                self.compiled.mappings[symbol.name],
-                np.zeros(shape, dtype=self.memories[0].arrays[symbol.name].dtype),
-            )
+            mapping = self.compiled.mappings[symbol.name]
+            for memory in self.memories:
+                memory.init_pending(symbol.name, None, mapping)
 
     # ==================================================================
     # Setup
@@ -233,12 +247,9 @@ class SPMDSimulator:
                       src: int, dst: int, env) -> tuple:
         if event is None:
             return ("raw", stmt.stmt_id, ref_id, src, dst, tuple(sorted(env.items())))
-        p = event.placement_level
-        outer = tuple(
-            env.get(loop.var.name, 0)
-            for loop in stmt.loops_enclosing()
-            if loop.level <= p
-        )
+        from ..comm.analysis import hoisted_loop_vars
+
+        outer = tuple(env.get(name, 0) for name in hoisted_loop_vars(event, stmt))
         # Keyed by the event's identity so transfers merged by message
         # combining share one startup per placement instance.
         return ("evt", id(event), src, dst, outer)
@@ -330,24 +341,37 @@ class SPMDSimulator:
             total += coeff * int(value)
         return total
 
-    def _ranks_of_position(self, position, env) -> list[int]:
+    def _position_form_values(self, position, env) -> tuple[int | None, ...]:
+        return tuple(
+            self._eval_form(dim.form, env)
+            if dim.kind == "pos" and dim.form is not None and dim.fmt is not None
+            else None
+            for dim in position
+        )
+
+    def _position_ranks(
+        self, position, values: tuple[int | None, ...]
+    ) -> list[int]:
         axes: list[list[int]] = []
         for g, dim in enumerate(position):
-            procs = self.grid.shape[g]
-            if dim.kind == "pos" and dim.form is not None and dim.fmt is not None:
-                pos = self._eval_form(dim.form, env)
-                if pos is None:
-                    axes.append(list(range(procs)))
-                else:
-                    axes.append([dim.fmt.owner(pos)])
+            pos = values[g]
+            if pos is not None:
+                axes.append([dim.fmt.owner(pos)])
             else:
-                axes.append(list(range(procs)))
+                axes.append(list(range(self.grid.shape[g])))
         return [self.grid.rank_of(c) for c in itertools.product(*axes)]
 
-    def executor_ranks(self, stmt: Stmt, env) -> list[int]:
-        info = self.compiled.executors[stmt.stmt_id]
-        # Reduction-variable statements outside the update set (the
-        # initialization of the privatized temporary) run everywhere.
+    def _ranks_of_position(self, position, env) -> list[int]:
+        return self._position_ranks(position, self._position_form_values(position, env))
+
+    def _runs_everywhere(self, stmt: Stmt) -> bool:
+        """Reduction-variable statements outside the update set (the
+        initialization of the privatized temporary) run everywhere;
+        static per statement, so computed once."""
+        cached = self._exec_everywhere.get(stmt.stmt_id)
+        if cached is not None:
+            return cached
+        everywhere = False
         if (
             isinstance(stmt, AssignStmt)
             and isinstance(stmt.lhs, ScalarRef)
@@ -357,11 +381,23 @@ class SPMDSimulator:
             mapping = (
                 self.compiled.scalar_pass.decisions.get(d) if d is not None else None
             )
-            if isinstance(mapping, ReductionMapping):
-                return list(self.grid.all_ranks())
-        if info.kind == "all":
-            return list(self.grid.all_ranks())
-        return self._ranks_of_position(info.position, env)
+            everywhere = isinstance(mapping, ReductionMapping)
+        self._exec_everywhere[stmt.stmt_id] = everywhere
+        return everywhere
+
+    def executor_ranks(self, stmt: Stmt, env) -> list[int]:
+        info = self.compiled.executors[stmt.stmt_id]
+        if self._runs_everywhere(stmt) or info.kind == "all":
+            return self._all_ranks
+        # Cache on the evaluated position forms: statement instances in
+        # different iterations of hoisted-out loops share one entry.
+        values = self._position_form_values(info.position, env)
+        key = (stmt.stmt_id, values)
+        ranks = self._ranks_cache.get(key)
+        if ranks is None:
+            ranks = self._position_ranks(info.position, values)
+            self._ranks_cache[key] = ranks
+        return ranks
 
     # ==================================================================
     # Statement execution
@@ -393,9 +429,16 @@ class SPMDSimulator:
                 self.clocks.charge_compute(rank, self._flops(stmt))
                 written_index = index
             if written_index is not None and not is_private_accumulation:
-                for rank in self.grid.all_ranks():
-                    if rank not in ranks:
-                        self.memories[rank].array_invalidate(name, written_index)
+                # Batched invalidation: one offset computation and a
+                # direct mask write per non-executor rank, instead of
+                # per-element accessor calls.
+                executing = set(ranks)
+                off = self.memories[0].offset(name, written_index)
+                for rank in self._all_ranks:
+                    if rank not in executing:
+                        memory = self.memories[rank]
+                        memory.valid[name][off] = False
+                        memory.versions[name] += 1
         else:
             name = stmt.lhs.symbol.name
             for rank in ranks:
@@ -405,8 +448,9 @@ class SPMDSimulator:
                 self.memories[rank].scalar_store(name, value)
                 self.clocks.charge_compute(rank, self._flops(stmt))
             if not is_private_accumulation and len(ranks) < self.grid.size:
-                for rank in self.grid.all_ranks():
-                    if rank not in ranks:
+                executing = set(ranks)
+                for rank in self._all_ranks:
+                    if rank not in executing:
                         self.memories[rank].scalar_invalidate(name)
 
     def exec_condition(self, stmt: IfStmt, env) -> bool:
@@ -638,7 +682,7 @@ class SPMDSimulator:
         mapping = self.compiled.mappings[name]
         symbol = mapping.array
         shape = tuple(symbol.extent(d) for d in range(symbol.rank))
-        result = np.zeros(shape, dtype=self.memories[0].arrays[name].dtype)
+        result = np.zeros(shape, dtype=self.memories[0].array_dtype(name))
         filled = np.zeros(shape, dtype=np.bool_)
         masks = self._masks_of(name)
         for rank, memory in enumerate(self.memories):
@@ -668,6 +712,12 @@ class SPMDSimulator:
     def elapsed(self) -> float:
         return self.clocks.elapsed
 
+    @property
+    def slab_coverage(self) -> float:
+        """Fraction of dynamic statement instances executed as slabs."""
+        total = self.slab_instances + self.interp_instances
+        return self.slab_instances / total if total else 0.0
+
 
 def simulate(
     compiled: CompiledProgram,
@@ -675,9 +725,14 @@ def simulate(
     machine: MachineModel | None = None,
     trace_capacity: int = 0,
     fast_path: bool = True,
+    slab_path: bool = True,
 ) -> SPMDSimulator:
     sim = SPMDSimulator(
-        compiled, machine, trace_capacity=trace_capacity, fast_path=fast_path
+        compiled,
+        machine,
+        trace_capacity=trace_capacity,
+        fast_path=fast_path,
+        slab_path=slab_path,
     )
     for name, values in (inputs or {}).items():
         sim.set_array(name, values)

@@ -1,0 +1,1583 @@
+"""Tier 3: slab-vectorized loop execution.
+
+The lowered closures of :mod:`repro.machine.lowering` (tier 2) still
+execute one iteration x one rank x one element at a time.  This module
+batches whole loop nests into per-rank numpy kernels — the "generalized
+data-parallel operation" view of the paper's privatized loops: each
+rank evaluates its owned iteration slab as sliced array expressions and
+the virtual clocks are charged in closed form from per-statement charge
+tapes.
+
+Eligibility (the fallback ladder's top rung) is decided in two stages:
+
+* a **static classification** (:func:`classify_procedure`, run as the
+  ``slabexec`` compiler pass) checks the shape of each loop nest —
+  assign-only bodies, affine subscripts, executor sets constant in the
+  inner loop variable, communication placed at or above the loop per
+  the communication analysis, and no loop-carried dependence at the
+  loop per :mod:`repro.analysis.dependence`;
+* a **runtime plan** rechecks everything that depends on live state
+  (validity of read operands, executor rank sets, divisors, subscript
+  bounds) and *bails* — executing nothing and mutating nothing — the
+  moment any assumption fails.  A bailed takeover falls back to the
+  tier-2 lowered closures, which reproduce the per-iteration semantics
+  (including any error and its exact partial state) bit for bit.
+
+Bit-for-bit clock identity is guaranteed by construction: per-instance
+compute charges are precomputed ``dt`` values replayed through
+``np.add.accumulate`` (strictly sequential, unlike pairwise
+``np.sum``), so a slab charges exactly the floating-point sum the
+per-iteration path would have produced.  Takeovers that would need a
+fetch bail — remote reads keep their exact per-element charging in the
+lower tiers — so ``TrafficStats`` is untouched by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..comm.analysis import hoisted_loop_vars
+from ..errors import SimulationError
+from ..ir.expr import (
+    ArrayElemRef,
+    BinOp,
+    Const,
+    IntrinsicCall,
+    ScalarRef,
+    UnOp,
+    affine_form,
+)
+from ..ir.stmt import AssignStmt, ContinueStmt, IfStmt, LoopStmt
+from ..ir.symbols import ScalarType
+from .stats import sequential_sum
+
+_MISSING = object()
+
+
+class _Bail(Exception):
+    """This takeover declines; nothing has been mutated."""
+
+
+def _canon_form(form) -> tuple:
+    """Hashable normal form of an affine subscript, comparable across
+    refs: (const, sorted (symbol name, coeff) pairs)."""
+    return (
+        form.const,
+        tuple(sorted((s.name, c) for s, c in form.coeffs if c != 0)),
+    )
+
+
+def _form_symbols(form):
+    return [s for s, c in form.coeffs if c != 0]
+
+
+# ---------------------------------------------------------------------------
+# Vectorized expression evaluation
+# ---------------------------------------------------------------------------
+#
+# Values are numpy arrays (one lane per iteration) or python/numpy
+# scalars; ``is_int`` tracks Fortran INTEGER-ness so division picks the
+# toward-zero semantics exactly like the interpreter's dynamic types.
+
+
+def _vec_idiv(left, right):
+    la = np.asarray(left, dtype=np.int64)
+    ra = np.asarray(right, dtype=np.int64)
+    if np.any(ra == 0):
+        raise _Bail("integer division by zero")
+    q = np.floor_divide(la, ra)
+    q = q + ((q < 0) & (q * ra != la))
+    return q
+
+
+def _as_bool(value):
+    return np.asarray(value) != 0
+
+
+class _Ctx:
+    """Evaluation context: resolves loop variables, scalars and array
+    reads for one lane set.  Subclassed by the plans."""
+
+    def loop_vec(self, name: str):
+        raise NotImplementedError
+
+    @property
+    def env(self):
+        raise NotImplementedError
+
+    def read_scalar(self, ref: ScalarRef):
+        raise NotImplementedError
+
+    def read_array(self, ref: ArrayElemRef):
+        raise NotImplementedError
+
+
+def _eval(expr, ctx: _Ctx):
+    """Vectorized twin of ``eval_expr``: returns (value, is_int).
+    Anything outside the bit-for-bit-safe whitelist raises _Bail."""
+    if isinstance(expr, Const):
+        v = expr.value
+        # bool is an int subclass, exactly as the interpreted dynamic
+        # typing sees it
+        return v, isinstance(v, int)
+    if isinstance(expr, ScalarRef):
+        sym = expr.symbol
+        if sym.value is not None:
+            v = sym.value
+            return v, isinstance(v, int)
+        if sym.is_loop_var:
+            lv = ctx.loop_vec(sym.name)
+            if lv is not None:
+                return lv, True
+            if sym.name in ctx.env:
+                return ctx.env[sym.name], True
+        return ctx.read_scalar(expr)
+    if isinstance(expr, ArrayElemRef):
+        return ctx.read_array(expr)
+    if isinstance(expr, UnOp):
+        v, vi = _eval(expr.operand, ctx)
+        if expr.op == "-":
+            return -v, vi
+        if expr.op == ".NOT.":
+            if isinstance(v, np.ndarray):
+                return ~_as_bool(v), False
+            return not v, False
+        raise _Bail(f"unary op {expr.op}")
+    if isinstance(expr, BinOp):
+        le, li = _eval(expr.left, ctx)
+        re, ri = _eval(expr.right, ctx)
+        op = expr.op
+        if op == "+":
+            return le + re, li and ri
+        if op == "-":
+            return le - re, li and ri
+        if op == "*":
+            return le * re, li and ri
+        if op == "/":
+            if li and ri:
+                return _vec_idiv(le, re), True
+            if np.any(np.asarray(re) == 0):
+                raise _Bail("division by zero")
+            return le / re, False
+        if op == "==":
+            return le == re, False
+        if op == "/=":
+            return le != re, False
+        if op == "<":
+            return le < re, False
+        if op == "<=":
+            return le <= re, False
+        if op == ">":
+            return le > re, False
+        if op == ">=":
+            return le >= re, False
+        # .AND./.OR. evaluate both operands (so do both lower tiers)
+        if op == ".AND.":
+            return _as_bool(le) & _as_bool(re), False
+        if op == ".OR.":
+            return _as_bool(le) | _as_bool(re), False
+        raise _Bail(f"binary op {op}")
+    if isinstance(expr, IntrinsicCall):
+        return _eval_intrinsic(expr, ctx)
+    raise _Bail(f"expression {type(expr).__name__}")
+
+
+def _eval_intrinsic(expr, ctx):
+    name = expr.name
+    evaluated = [_eval(a, ctx) for a in expr.args]
+    vals = [v for v, _ in evaluated]
+    ints = [i for _, i in evaluated]
+    if name == "ABS":
+        v = vals[0]
+        return (np.abs(v) if isinstance(v, np.ndarray) else abs(v)), ints[0]
+    if name in ("MAX", "MIN"):
+        fn = np.maximum if name == "MAX" else np.minimum
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = fn(acc, v)
+        return acc, all(ints)
+    if name == "SQRT":
+        v = np.asarray(vals[0], dtype=np.float64)
+        if np.any(v < 0):
+            raise _Bail("SQRT of negative value")
+        out = np.sqrt(v)
+        return (out if isinstance(vals[0], np.ndarray) else float(out)), False
+    if name == "MOD":
+        if np.any(np.asarray(vals[1]) == 0):
+            raise _Bail("MOD by zero")
+        return vals[0] % vals[1], all(ints)
+    if name == "SIGN":
+        return np.copysign(vals[0], vals[1]), False
+    if name in ("REAL", "FLOAT", "DBLE"):
+        v = vals[0]
+        if isinstance(v, np.ndarray):
+            return v.astype(np.float64), False
+        return float(v), False
+    # EXP/LOG/SIN/COS: numpy's SIMD paths are not guaranteed to match
+    # libm bit for bit; INT truncation and ** likewise stay scalar.
+    raise _Bail(f"intrinsic {name}")
+
+
+def _coerce_vec(value, is_int, stype: ScalarType, n: int) -> np.ndarray:
+    """``coerce_store`` over a whole lane vector, broadcast to n."""
+    if stype is ScalarType.INT:
+        if not is_int:
+            raise _Bail("REAL value stored to INTEGER")
+        out = np.empty(n, dtype=np.int64)
+        out[...] = value
+        return out
+    if stype is ScalarType.LOGICAL:
+        out = np.empty(n, dtype=np.bool_)
+        out[...] = _as_bool(value)
+        return out
+    out = np.empty(n, dtype=np.float64)
+    out[...] = value
+    return out
+
+# ---------------------------------------------------------------------------
+# Static classification (the ``slabexec`` compiler pass)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SlabReport:
+    """Pass product: per-loop slab eligibility.
+
+    ``inner`` maps innermost-loop statement ids to ``"ok"`` or the first
+    failing reason; ``column`` does the same for outer loops wrapping a
+    single ineligible inner loop (executed column-wise).  Plain ids and
+    strings only, so the product pickles with the compiled program and
+    is rebuilt (like the lowering) when ``ir_epoch`` is stale.
+    """
+
+    ir_epoch: int
+    inner: dict[int, str] = field(default_factory=dict)
+    column: dict[int, str] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "inner_ok": sum(1 for v in self.inner.values() if v == "ok"),
+            "inner_total": len(self.inner),
+            "column_ok": sum(1 for v in self.column.values() if v == "ok"),
+            "column_total": len(self.column),
+        }
+
+
+def _placement_map(events) -> dict[int, list[int]]:
+    """stmt_id -> placement levels of every comm event charged to it
+    (including refs absorbed by message combining)."""
+    placements: dict[int, list[int]] = {}
+    for e in events:
+        refs = [(e.stmt, e)] + [
+            (a.stmt, e) for a in list(e.aliases) + list(e.combined_with)
+        ]
+        for stmt, ev in refs:
+            placements.setdefault(stmt.stmt_id, []).append(ev.placement_level)
+    return placements
+
+
+def _stmt_array_refs(stmt: AssignStmt):
+    """Every ArrayElemRef in the statement (lhs target + rhs reads,
+    including refs nested in subscripts)."""
+    out = []
+    if isinstance(stmt.lhs, ArrayElemRef):
+        out.append(stmt.lhs)
+        for sub in stmt.lhs.subscripts:
+            out.extend(r for r in sub.refs() if isinstance(r, ArrayElemRef))
+    out.extend(r for r in stmt.rhs.refs() if isinstance(r, ArrayElemRef))
+    return out
+
+
+def _check_affine_refs(stmt: AssignStmt) -> str | None:
+    for ref in _stmt_array_refs(stmt):
+        for sub in ref.subscripts:
+            if affine_form(sub) is None:
+                return f"non-affine subscript in {ref.symbol.name}"
+    return None
+
+
+def _check_executor(info, v: str | None) -> str | None:
+    """Executor must be an owner/all set whose position does not vary
+    with the vectorized loop variable ``v`` (None: any loop var)."""
+    if info is None:
+        return "no executor info"
+    if info.kind not in ("owner", "all"):
+        return f"executor kind {info.kind}"
+    if info.kind == "owner":
+        for dim in info.position:
+            if dim.kind == "pos" and dim.form is not None:
+                for sym in dim.form.symbols:
+                    if v is not None and sym.name == v and sym.value is None:
+                        return f"executor position varies with {v}"
+    return None
+
+
+def _carried_dependence(proc, loop: LoopStmt, assigns) -> str | None:
+    """Reject any possible cross-iteration flow of values through an
+    array at ``loop``'s level (per :mod:`repro.analysis.dependence`).
+
+    A pair whose subscripts have identical canonical forms with a
+    nonzero coefficient on the loop variable touches the same element
+    only in the same iteration (distance 0) and is allowed; anything
+    else that ``may_depend_within_loop`` cannot disprove is treated as
+    loop-carried."""
+    from ..analysis.dependence import may_depend_within_loop
+
+    v = loop.var.name
+    writes = []
+    refs = []
+    for s in assigns:
+        if isinstance(s.lhs, ArrayElemRef):
+            writes.append(s.lhs)
+        refs.extend(_stmt_array_refs(s))
+    for w in writes:
+        w_forms = [affine_form(sub) for sub in w.subscripts]
+        if any(f is None for f in w_forms):
+            return f"non-affine subscript in {w.symbol.name}"
+        w_canon = tuple(_canon_form(f) for f in w_forms)
+        w_injective = any(
+            f.coeff(sym) != 0
+            for f in w_forms
+            for sym in f.symbols
+            if sym.name == v
+        )
+        for o in refs:
+            if o is w or o.symbol.name != w.symbol.name:
+                continue
+            o_forms = [affine_form(sub) for sub in o.subscripts]
+            if any(f is None for f in o_forms):
+                return f"non-affine subscript in {o.symbol.name}"
+            o_canon = tuple(_canon_form(f) for f in o_forms)
+            if o_canon == w_canon and w_injective:
+                continue  # distance 0 only
+            if may_depend_within_loop(proc, w, o, loop):
+                return f"loop-carried dependence on {w.symbol.name}"
+    return None
+
+
+def _classify_inner(proc, loop: LoopStmt, executors, placements,
+                    reduction_ids) -> str:
+    v = loop.var.name
+    assigns = []
+    for s in loop.body:
+        if isinstance(s, ContinueStmt):
+            continue
+        if not isinstance(s, AssignStmt):
+            return f"body contains {type(s).__name__}"
+        assigns.append(s)
+    if not assigns:
+        return "empty body"
+    for s in assigns:
+        reason = _check_executor(executors.get(s.stmt_id), v)
+        if reason is not None:
+            return f"S{s.stmt_id}: {reason}"
+        reason = _check_affine_refs(s)
+        if reason is not None:
+            return f"S{s.stmt_id}: {reason}"
+        for level in placements.get(s.stmt_id, ()):
+            if level >= loop.level:
+                return f"S{s.stmt_id}: communication placed inside the loop"
+    return _carried_dependence(proc, loop, assigns) or "ok"
+
+
+def _classify_column(proc, loop: LoopStmt, executors, placements,
+                     reduction_ids, grid_rank) -> str:
+    """An outer loop executed column-wise: its body is straight-line
+    assigns around exactly one inner loop; every statement runs on the
+    owner of the same position (a function of the outer variable only),
+    and every array touches exactly its outer-variable column — so the
+    columns evolve independently and one rank-sliced numpy pass per
+    statement reproduces the sequential per-column semantics."""
+    if grid_rank is not None and grid_rank != 1:
+        return "grid is not one-dimensional"
+    j = loop.var.name
+    inner: LoopStmt | None = None
+    assigns = []
+    for s in loop.body:
+        if isinstance(s, ContinueStmt):
+            continue
+        if isinstance(s, LoopStmt):
+            if inner is not None:
+                return "more than one inner loop"
+            inner = s
+            continue
+        if not isinstance(s, AssignStmt):
+            return f"body contains {type(s).__name__}"
+        assigns.append(s)
+    if inner is None:
+        return "no inner loop"
+    i = inner.var.name
+    inner_assigns = []
+    for s in inner.body:
+        if isinstance(s, ContinueStmt):
+            continue
+        if not isinstance(s, AssignStmt):
+            return f"inner body contains {type(s).__name__}"
+        inner_assigns.append(s)
+    all_assigns = assigns + inner_assigns
+    if not all_assigns:
+        return "empty body"
+    # inner bounds must be invariant over the takeover
+    for bound in (inner.low, inner.high, inner.step):
+        if bound is None:
+            continue
+        for ref in bound.refs():
+            if isinstance(ref, ScalarRef) and ref.symbol.name in (j, i):
+                return "inner bounds vary with the loop variables"
+    canon_pos = _MISSING
+    for s in all_assigns:
+        if s.stmt_id in reduction_ids:
+            return f"S{s.stmt_id}: reduction update in body"
+        info = executors.get(s.stmt_id)
+        reason = _check_executor(info, None)
+        if reason is not None:
+            return f"S{s.stmt_id}: {reason}"
+        if info.kind != "owner":
+            return f"S{s.stmt_id}: executor kind {info.kind}"
+        pos = tuple(
+            _canon_form(dim.form)
+            if dim.kind == "pos" and dim.form is not None
+            else dim.kind
+            for dim in info.position
+        )
+        if canon_pos is _MISSING:
+            canon_pos = pos
+        elif pos != canon_pos:
+            return "executor position differs across statements"
+        reason = _check_affine_refs(s)
+        if reason is not None:
+            return f"S{s.stmt_id}: {reason}"
+        for level in placements.get(s.stmt_id, ()):
+            if level >= loop.level:
+                return f"S{s.stmt_id}: communication placed inside the loop"
+    # every array must touch exactly its own column: one dimension
+    # subscripted exactly ``j`` in every ref, the others ``j``-free
+    jdims: dict[str, int] = {}
+    for s in all_assigns:
+        for ref in _stmt_array_refs(s):
+            name = ref.symbol.name
+            ref_jdims = []
+            for d, sub in enumerate(ref.subscripts):
+                form = affine_form(sub)
+                canon = _canon_form(form)
+                if canon == (0, ((j, 1),)):
+                    ref_jdims.append(d)
+                elif any(nm == j for nm, _ in canon[1]):
+                    return f"{name}: mixed {j}-subscript"
+            if len(ref_jdims) != 1:
+                return f"{name}: no unique {j}-column dimension"
+            d = ref_jdims[0]
+            if jdims.setdefault(name, d) != d:
+                return f"{name}: inconsistent {j}-column dimension"
+            if len(ref.subscripts) != 2:
+                return f"{name}: only rank-2 arrays supported"
+    return "ok"
+
+
+def classify_procedure(proc, executors, events, reduction_ids,
+                       grid_rank=None) -> SlabReport:
+    """Statically classify every loop nest for slab eligibility."""
+    placements = _placement_map(events)
+    report = SlabReport(ir_epoch=proc.ir_epoch)
+
+    def visit(stmts):
+        for s in stmts:
+            if isinstance(s, LoopStmt):
+                nested = [b for b in s.body if isinstance(b, LoopStmt)]
+                if not nested:
+                    report.inner[s.stmt_id] = _classify_inner(
+                        proc, s, executors, placements, reduction_ids
+                    )
+                elif (
+                    len(nested) == 1
+                    and report.inner.get(nested[0].stmt_id) != "ok"
+                ):
+                    pass  # classified below, after visiting children
+                visit(s.body)
+            elif isinstance(s, IfStmt):
+                visit(s.then_body)
+                visit(s.else_body)
+
+    visit(proc.body)
+
+    def visit_columns(stmts):
+        for s in stmts:
+            if isinstance(s, LoopStmt):
+                nested = [b for b in s.body if isinstance(b, LoopStmt)]
+                if (
+                    len(nested) == 1
+                    and report.inner.get(nested[0].stmt_id, "") != "ok"
+                ):
+                    report.column[s.stmt_id] = _classify_column(
+                        proc, s, executors, placements, reduction_ids,
+                        grid_rank,
+                    )
+                visit_columns(s.body)
+            elif isinstance(s, IfStmt):
+                visit_columns(s.then_body)
+                visit_columns(s.else_body)
+
+    visit_columns(proc.body)
+    return report
+
+# ---------------------------------------------------------------------------
+# Runtime plans
+# ---------------------------------------------------------------------------
+
+_RED_UFUNC = {
+    "+": np.add,
+    "*": np.multiply,
+    "MAX": np.maximum,
+    "MIN": np.minimum,
+}
+
+
+def _reduction_operand(rhs, acc: str, op: str):
+    """``acc = acc OP e`` / ``acc = MAX(acc, e)`` → ``e`` (both
+    orderings; + and * are bitwise commutative in IEEE), or None."""
+
+    def is_acc(e):
+        return isinstance(e, ScalarRef) and e.symbol.name == acc
+
+    e = None
+    if op in ("+", "*") and isinstance(rhs, BinOp) and rhs.op == op:
+        if is_acc(rhs.left):
+            e = rhs.right
+        elif is_acc(rhs.right):
+            e = rhs.left
+    elif (
+        op in ("MAX", "MIN")
+        and isinstance(rhs, IntrinsicCall)
+        and rhs.name == op
+        and len(rhs.args) == 2
+    ):
+        if is_acc(rhs.args[0]):
+            e = rhs.args[1]
+        elif is_acc(rhs.args[1]):
+            e = rhs.args[0]
+    if e is None:
+        return None
+    for ref in e.refs():
+        if isinstance(ref, ScalarRef) and ref.symbol.name == acc:
+            return None  # acc on both sides: not a fold
+    return e
+
+
+class _Step:
+    """One body assignment, preprocessed."""
+
+    __slots__ = ("stmt", "sid", "dt", "kind", "name", "stype", "rhs",
+                 "red_op", "red_expr", "lhs_forms", "row_form")
+
+    def __init__(self, stmt: AssignStmt, dt: float):
+        self.stmt = stmt
+        self.sid = stmt.stmt_id
+        self.dt = dt
+        self.name = stmt.lhs.symbol.name
+        self.stype = stmt.lhs.symbol.type
+        self.rhs = stmt.rhs
+        self.red_op = None
+        self.red_expr = None
+        self.lhs_forms = None
+        self.row_form = None
+
+
+def _check_form_resolvable(form, loop_vars: tuple[str, ...]) -> None:
+    """Subscript/position forms may reference only the vectorized loop
+    vars, other (env-resolved) loop variables, and symbolic constants.
+    A form that reads a per-rank memory scalar cannot be shared across
+    ranks — and a body-written scalar would change mid-loop."""
+    for sym, _c in form.coeffs:
+        if sym.value is not None:
+            continue
+        if sym.name in loop_vars:
+            continue
+        if sym.is_loop_var:
+            continue  # resolved from env at run time (bail if absent)
+        raise _Bail(f"subscript depends on scalar {sym.name}")
+
+
+def _affine_vec(form, vec_vars: dict, env, symbol=None, dim=None):
+    """Evaluate an affine form over the lanes: returns an int or an
+    int64 vector.  ``vec_vars`` maps loop-var name -> lane vector."""
+    total = form.const
+    vec = None
+    for sym, coeff in form.coeffs:
+        if sym.value is not None:
+            total += coeff * int(sym.value)
+            continue
+        lanes = vec_vars.get(sym.name)
+        if lanes is not None:
+            contrib = coeff * lanes
+            vec = contrib if vec is None else vec + contrib
+            continue
+        if sym.name in env:
+            total += coeff * int(env[sym.name])
+            continue
+        raise _Bail(f"unresolved subscript symbol {sym.name}")
+    return total if vec is None else vec + total
+
+
+def _bounds_checked_offset(idx, symbol, dim: int):
+    lo, hi = symbol.dims[dim]
+    if isinstance(idx, np.ndarray):
+        if idx.size and (int(idx.min()) < lo or int(idx.max()) > hi):
+            raise _Bail(f"subscript out of bounds for {symbol.name}")
+    elif not lo <= idx <= hi:
+        raise _Bail(f"subscript out of bounds for {symbol.name}")
+    return idx - lo
+
+
+class _InnerCtx(_Ctx):
+    """Per-rank lane evaluation of one inner-loop takeover."""
+
+    def __init__(self, plan: "InnerPlan", rank: int, iv: np.ndarray,
+                 env, n: int, offs: dict):
+        self.plan = plan
+        self.memory = plan.sim.memories[rank]
+        self.iv = iv
+        self._env = env
+        self.n = n
+        self.offs = offs
+        self.scalar_shadow: dict[str, np.ndarray] = {}
+        self.scalar_killed: set[str] = set()
+        self.array_shadow: dict[str, np.ndarray] = {}
+        self.array_killed: set[str] = set()
+        self.red_results: dict[str, Any] = {}
+        self.tape: list[float] = []
+        #: step index -> position of its dt on the tape
+        self.tape_pos: dict[int, int] = {}
+        #: (array name, element) -> [tag, src, value, sid, rid, stmt];
+        #: tag = (lane, step, read-seq) of the *first* read in
+        #: per-iteration order — where the per-element fetch fires
+        self.fetches: dict[tuple, list] = {}
+        self.cur_k = 0
+        self.cur_stmt = None
+        self.q = 0
+
+    def loop_vec(self, name: str):
+        return self.iv if name == self.plan.v else None
+
+    @property
+    def env(self):
+        return self._env
+
+    def read_scalar(self, ref: ScalarRef):
+        name = ref.symbol.name
+        if name in self._env:  # mirrors the fetching reader
+            v = self._env[name]
+            return v, isinstance(v, int)
+        vec = self.scalar_shadow.get(name)
+        if vec is not None:
+            return vec, vec.dtype.kind in "bi"
+        if (
+            name in self.scalar_killed
+            or name in self.plan.written_scalars
+            or name in self.plan.acc_names
+        ):
+            # invalidated mid-loop on this rank, or read before the
+            # first in-body write (a cross-iteration carried value)
+            raise _Bail(f"scalar {name} not vectorizable here")
+        memory = self.memory
+        if not memory.scalar_is_valid(name):
+            raise _Bail(f"scalar {name} read would fetch")
+        v = memory.scalars[name]
+        return v, isinstance(v, int)
+
+    def read_array(self, ref: ArrayElemRef):
+        name = ref.symbol.name
+        if name in self.plan.arrays:
+            vec = self.array_shadow.get(name)
+            if vec is not None:
+                return vec, vec.dtype.kind in "bi"
+            if name in self.array_killed:
+                raise _Bail(f"array {name} invalidated mid-loop here")
+            # read before this iteration's write: pre-state (injective
+            # subscripts mean no other iteration has touched the lane)
+        off = self.offs[ref.ref_id]
+        memory = self.memory
+        self.q += 1
+        m = memory.valid[name][off]
+        if not bool(np.all(m)):
+            if name in self.plan.arrays:
+                raise _Bail(f"written array {name} read would fetch")
+            return self._fetch_read(ref, off, m)
+        data = memory.arrays[name][off]
+        return data, data.dtype.kind in "bi"
+
+    def _fetch_read(self, ref: ArrayElemRef, off, m):
+        """Some lanes read invalid elements: the per-iteration path
+        would fetch each one, exactly once, at its first read.  Record
+        the fetch (tagged with its per-iteration position so the commit
+        replays the charges in the identical order) and read the value
+        from the source rank — its copy cannot change during the
+        takeover, since only this loop's statements execute."""
+        name = ref.symbol.name
+        symbol = ref.symbol
+        engine = self.plan.fast.engine
+        acc = engine.access(name)
+        n = self.n
+        offv = [
+            np.broadcast_to(np.asarray(o, dtype=np.int64), (n,)) for o in off
+        ]
+        mv = np.broadcast_to(np.asarray(m, dtype=np.bool_), (n,))
+        data = self.memory.arrays[name]
+        out = np.empty(n, dtype=data.dtype)
+        out[:] = data[off]
+        lows = [lo for lo, _ in symbol.dims]
+        valids = acc.valids
+        fetches = self.fetches
+        sid = self.cur_stmt.stmt_id
+        for lane in np.nonzero(~mv)[0]:
+            elem = tuple(int(o[lane]) for o in offv)
+            tag = (int(lane), self.cur_k, self.q)
+            rec = fetches.get((name, elem))
+            if rec is not None:
+                if tag < rec[0]:
+                    rec[0] = tag
+                    rec[3] = sid
+                    rec[4] = ref.ref_id
+                    rec[5] = self.cur_stmt
+                out[lane] = rec[2]
+                continue
+            index = tuple(e + lo for e, lo in zip(elem, lows))
+            try:
+                cands = acc.candidates(index)
+            except Exception:
+                # the per-iteration path raises the canonical error
+                raise _Bail("owner lookup failed") from None
+            src = None
+            for owner in cands:
+                if valids[owner][elem]:
+                    src = owner
+                    break
+            if src is None:
+                for r2 in range(len(valids)):
+                    if valids[r2][elem]:
+                        src = r2
+                        break
+            if src is None:
+                raise _Bail(f"no rank holds {name}{index}")
+            value = acc.datas[src][elem].item()
+            fetches[(name, elem)] = [
+                tag, src, value, sid, ref.ref_id, self.cur_stmt,
+            ]
+            out[lane] = value
+        return out, out.dtype.kind in "bi"
+
+    def process(self, st: _Step, executes: bool, k: int = 0) -> None:
+        if not executes:
+            # this rank's copy is invalidated by the executing ranks
+            if st.kind == "array":
+                self.array_shadow.pop(st.name, None)
+                self.array_killed.add(st.name)
+            elif st.kind == "scalar":
+                self.scalar_shadow.pop(st.name, None)
+                self.scalar_killed.add(st.name)
+            return  # reductions: private copies stay untouched
+        self.cur_k = k
+        self.cur_stmt = st.stmt
+        self.q = 0
+        if st.kind == "reduction":
+            acc = st.name
+            start = self.red_results.get(acc)
+            if start is None:
+                if not self.memory.scalar_is_valid(acc):
+                    raise _Bail("reduction accumulator invalid")
+                start = self.memory.scalars[acc]
+            value, is_int = _eval(st.red_expr, self)
+            if st.stype is ScalarType.INT and not is_int:
+                raise _Bail("REAL fold into INTEGER accumulator")
+            dtype = np.int64 if st.stype is ScalarType.INT else np.float64
+            buf = np.empty(self.n + 1, dtype=dtype)
+            buf[0] = start
+            buf[1:] = value
+            self.red_results[acc] = _RED_UFUNC[st.red_op].accumulate(buf)[-1]
+            self.tape_pos[k] = len(self.tape)
+            self.tape.append(st.dt)
+            return
+        value, is_int = _eval(st.rhs, self)
+        vec = _coerce_vec(value, is_int, st.stype, self.n)
+        if st.kind == "array":
+            self.array_shadow[st.name] = vec
+            self.array_killed.discard(st.name)
+        else:
+            self.scalar_shadow[st.name] = vec
+            self.scalar_killed.discard(st.name)
+        self.tape_pos[k] = len(self.tape)
+        self.tape.append(st.dt)
+
+
+class _WrittenArray:
+    __slots__ = ("symbol", "forms", "canon", "write_steps")
+
+    def __init__(self, symbol, forms, canon):
+        self.symbol = symbol
+        self.forms = forms
+        self.canon = canon
+        self.write_steps: list[int] = []
+
+
+class InnerPlan:
+    """Vectorized execution of one innermost loop: every iteration is a
+    lane; each participating rank evaluates its statements over the
+    whole lane vector, then commits stores, invalidations, and charge
+    tapes.  Any condition the per-iteration path would have handled
+    differently (invalid reads → fetches, bounds errors, non-affine
+    values) raises :class:`_Bail` before anything is mutated."""
+
+    def __init__(self, slab: "SlabExecutor", loop: LoopStmt):
+        sim = slab.sim
+        fast = slab.fast
+        self.sim = sim
+        self.fast = fast
+        self.loop = loop
+        self.v = loop.var.name
+        self.steps: list[_Step] = []
+        self.arrays: dict[str, _WrittenArray] = {}
+        self.written_scalars: dict[str, int] = {}  # name -> last writer
+        self.acc_names: set[str] = set()
+        self.ref_forms: dict[int, tuple] = {}  # ref_id -> (symbol, forms)
+        red_exprs: list = []
+        for stmt in loop.body:
+            if isinstance(stmt, ContinueStmt):
+                continue
+            if not isinstance(stmt, AssignStmt):
+                raise _Bail("non-assign in body")
+            dt = fast._dt.get(stmt.stmt_id)
+            if dt is None:
+                raise _Bail("statement not lowered")
+            st = _Step(stmt, dt)
+            k = len(self.steps)
+            red = sim._reduction_updates.get(stmt.stmt_id)
+            if red is not None:
+                reduction, _mapping = red
+                if (
+                    not isinstance(stmt.lhs, ScalarRef)
+                    or reduction.location_symbol is not None
+                    or reduction.op not in _RED_UFUNC
+                    or reduction.symbol.name != st.name
+                ):
+                    raise _Bail("unsupported reduction form")
+                e = _reduction_operand(stmt.rhs, st.name, reduction.op)
+                if e is None:
+                    raise _Bail("unrecognized reduction update")
+                st.kind = "reduction"
+                st.red_op = reduction.op
+                st.red_expr = e
+                self.acc_names.add(st.name)
+                red_exprs.append(e)
+            elif isinstance(stmt.lhs, ArrayElemRef):
+                st.kind = "array"
+                forms = [affine_form(s) for s in stmt.lhs.subscripts]
+                if any(f is None for f in forms):
+                    raise _Bail("non-affine store subscript")
+                for f in forms:
+                    _check_form_resolvable(f, (self.v,))
+                canon = tuple(_canon_form(f) for f in forms)
+                info = self.arrays.get(st.name)
+                if info is None:
+                    if not any(
+                        f.coeff(sym) != 0
+                        for f in forms
+                        for sym in f.symbols
+                        if sym.name == self.v and sym.value is None
+                    ):
+                        raise _Bail("store not injective in the loop var")
+                    info = _WrittenArray(stmt.lhs.symbol, forms, canon)
+                    self.arrays[st.name] = info
+                elif info.canon != canon:
+                    raise _Bail("writes with differing subscript forms")
+                info.write_steps.append(k)
+                self.ref_forms[stmt.lhs.ref_id] = (stmt.lhs.symbol, forms)
+            else:
+                st.kind = "scalar"
+                self.written_scalars[st.name] = k
+            self.steps.append(st)
+        if not self.steps:
+            raise _Bail("empty body")
+        # rhs reads: affine forms everywhere, and reads of in-body
+        # written arrays must use exactly the store's subscript form
+        for st in self.steps:
+            expr = st.red_expr if st.kind == "reduction" else st.rhs
+            for ref in expr.refs():
+                if not isinstance(ref, ArrayElemRef):
+                    continue
+                forms = [affine_form(s) for s in ref.subscripts]
+                if any(f is None for f in forms):
+                    raise _Bail("non-affine read subscript")
+                for f in forms:
+                    _check_form_resolvable(f, (self.v,))
+                info = self.arrays.get(ref.symbol.name)
+                if info is not None:
+                    canon = tuple(_canon_form(f) for f in forms)
+                    if canon != info.canon:
+                        raise _Bail("read overlaps writes across lanes")
+                self.ref_forms[ref.ref_id] = (ref.symbol, forms)
+        # accumulators must not leak into any other statement
+        for st in self.steps:
+            for name in self.acc_names:
+                if st.kind == "reduction" and st.name == name:
+                    continue
+                if st.kind != "reduction" and st.name == name:
+                    raise _Bail("accumulator written outside the fold")
+                expr = st.red_expr if st.kind == "reduction" else st.rhs
+                for ref in expr.refs():
+                    if isinstance(ref, ScalarRef) and ref.symbol.name == name:
+                        raise _Bail("accumulator read outside the fold")
+        # executor positions must not depend on anything the body writes
+        mutated = set(self.written_scalars) | self.acc_names
+        for st in self.steps:
+            info = sim.compiled.executors.get(st.sid)
+            if info is None:
+                raise _Bail("no executor info")
+            for dim in info.position:
+                if dim.kind == "pos" and dim.form is not None:
+                    for sym in dim.form.symbols:
+                        if sym.value is None and (
+                            sym.name == self.v or sym.name in mutated
+                        ):
+                            raise _Bail("executor varies inside the loop")
+
+    # ------------------------------------------------------------------
+
+    def _fetch_schedule(self, ctx: _InnerCtx, rank: int, env) -> list:
+        """Order the recorded fetches exactly as the per-iteration path
+        would have issued them and precompute each one's coalescing key
+        and startup flag (peeked — nothing is mutated until commit)."""
+        sim = self.sim
+        tape_len = len(ctx.tape)
+        entries = []
+        for (name, elem), rec in ctx.fetches.items():
+            tag, src, value, sid, rid, stmt = rec
+            v, k, _q = tag
+            flat = v * tape_len + ctx.tape_pos[k]
+            event = sim._events.get((sid, rid))
+            if event is None:
+                # raw coalescing keys embed the full env — including
+                # the takeover variable, which tier 2 sets per
+                # iteration and we do not
+                raise _Bail("fetch without a placed event")
+            outer = hoisted_loop_vars(event, stmt)
+            if self.v in outer:
+                raise _Bail("fetch key varies per lane")
+            key = (
+                "evt",
+                id(event),
+                src,
+                rank,
+                tuple(env.get(nm, 0) for nm in outer),
+            )
+            entries.append((tag, flat, key, src, sid, rid, name, elem, value))
+        entries.sort(key=lambda e: e[0])
+        seen_new: set = set()
+        global_seen = sim._fetch_keys_seen
+        out = []
+        for tag, flat, key, src, sid, rid, name, elem, value in entries:
+            startup = key not in global_seen and key not in seen_new
+            if startup:
+                seen_new.add(key)
+            out.append((flat, key, startup, src, sid, rid, name, elem, value))
+        return out
+
+    def _commit_fetching_tape(
+        self, rank: int, ctx: _InnerCtx, n: int, fetch_plan: list
+    ) -> None:
+        """Charge the rank's compute tape with the fetch messages
+        replayed at their exact per-iteration positions.  Left folds
+        compose, so splitting the tape at each message reproduces the
+        interleaved ``charge_compute``/``charge_message_amortized``
+        sequence bit for bit; ``compute_time`` sees no messages and is
+        folded in one piece."""
+        sim = self.sim
+        clocks = sim.clocks
+        stats = sim.stats
+        memory = sim.memories[rank]
+        full = np.tile(np.asarray(ctx.tape, dtype=np.float64), n)
+        if full.size:
+            clocks.compute_time[rank] = sequential_sum(
+                clocks.compute_time[rank], full
+            )
+        prev = 0
+        for flat, key, startup, src, sid, rid, name, elem, value in fetch_plan:
+            if flat > prev:
+                clocks.time[rank] = sequential_sum(
+                    clocks.time[rank], full[prev:flat]
+                )
+                prev = flat
+            clocks.charge_message_amortized(src, rank, 1, startup)
+            if startup:
+                sim._fetch_keys_seen.add(key)
+                stats.messages += 1
+            stats.record_fetch((sid, rid), 1)
+            memory.arrays[name][elem] = value
+            memory.valid[name][elem] = True
+            memory.versions[name] += 1
+        if prev < full.size:
+            clocks.time[rank] = sequential_sum(clocks.time[rank], full[prev:])
+
+    def prepare(self, low: int, high: int, step: int, env) -> Callable:
+        n = (high - low + step) // step
+        sim = self.sim
+        if n <= 0:
+            def commit_empty():
+                pass
+            return commit_empty
+        steps = self.steps
+        rank_sets: list[list[int]] = []
+        exec_sets: list[set] = []
+        for st in steps:
+            ranks = sim.executor_ranks(st.stmt, env)
+            if not ranks:
+                raise _Bail("empty executor set")
+            rank_sets.append(ranks)
+            exec_sets.append(set(ranks))
+        for info in self.arrays.values():
+            first = exec_sets[info.write_steps[0]]
+            for k in info.write_steps[1:]:
+                if exec_sets[k] != first:
+                    raise _Bail("array writers differ in executor set")
+        iv = low + step * np.arange(n, dtype=np.int64)
+        vec_vars = {self.v: iv}
+        offs: dict[int, tuple] = {}
+        by_key: dict[tuple, tuple] = {}
+        for ref_id, (symbol, forms) in self.ref_forms.items():
+            key = (symbol.name, tuple(_canon_form(f) for f in forms))
+            got = by_key.get(key)
+            if got is None:
+                got = tuple(
+                    _bounds_checked_offset(
+                        _affine_vec(f, vec_vars, env), symbol, d
+                    )
+                    for d, f in enumerate(forms)
+                )
+                by_key[key] = got
+            offs[ref_id] = got
+        participants = sorted(set().union(*exec_sets))
+        ctxs: dict[int, _InnerCtx] = {}
+        with np.errstate(over="ignore", invalid="ignore"):
+            for r in participants:
+                ctx = _InnerCtx(self, r, iv, env, n, offs)
+                for k, st in enumerate(steps):
+                    ctx.process(st, r in exec_sets[k], k)
+                ctxs[r] = ctx
+        if any(ctx.fetches for ctx in ctxs.values()):
+            if len(participants) != 1:
+                # cross-rank message/compute interleaving would need
+                # the per-instance global order; leave it to tier 2
+                raise _Bail("fetching takeover with multiple executors")
+            fetch_plan = self._fetch_schedule(
+                ctxs[participants[0]], participants[0], env
+            )
+        else:
+            fetch_plan = None
+
+        def commit():
+            memories = sim.memories
+            clocks = sim.clocks
+            for r in participants:
+                tape = ctxs[r].tape
+                if fetch_plan is not None:
+                    self._commit_fetching_tape(r, ctxs[r], n, fetch_plan)
+                elif tape:
+                    clocks.charge_compute_tape(
+                        r, np.tile(np.asarray(tape, dtype=np.float64), n)
+                    )
+            for name, info in self.arrays.items():
+                w_ranks = rank_sets[info.write_steps[0]]
+                wset = exec_sets[info.write_steps[0]]
+                off = offs[steps[info.write_steps[0]].stmt.lhs.ref_id]
+                bump = n * len(info.write_steps)
+                for r in w_ranks:
+                    memory = memories[r]
+                    memory.arrays[name][off] = ctxs[r].array_shadow[name]
+                    memory.valid[name][off] = True
+                    memory.versions[name] += bump
+                if len(w_ranks) < len(memories):
+                    for r2, memory in enumerate(memories):
+                        if r2 not in wset:
+                            memory.valid[name][off] = False
+                            memory.versions[name] += bump
+            for name, last_k in self.written_scalars.items():
+                ranks = rank_sets[last_k]
+                rset = exec_sets[last_k]
+                for r in ranks:
+                    memories[r].scalar_store(
+                        name, ctxs[r].scalar_shadow[name][-1].item()
+                    )
+                if len(ranks) < len(memories):
+                    for r2, memory in enumerate(memories):
+                        if r2 not in rset:
+                            memory.scalar_invalidate(name)
+            for k, st in enumerate(steps):
+                if st.kind == "reduction":
+                    for r in rank_sets[k]:
+                        memories[r].scalar_store(
+                            st.name, ctxs[r].red_results[st.name].item()
+                        )
+            sim.slab_instances += n * len(steps)
+
+        return commit
+
+
+class _ColCtx(_Ctx):
+    """Column-lane evaluation: one lane per outer-loop iteration
+    (column), statements processed in sequential order with the inner
+    loop unrolled step by step — exact because each column reads and
+    writes only its own data (checked statically)."""
+
+    def __init__(self, plan: "ColumnPlan", jvec: np.ndarray, env,
+                 exec_col: np.ndarray, cols_of: dict[int, np.ndarray]):
+        self.plan = plan
+        self.jvec = jvec
+        self._env = env
+        self.nj = jvec.size
+        self.exec_col = exec_col
+        self.cols_of = cols_of
+        self._i: int | None = None
+        self.tables: dict[str, tuple] = {}
+        self.scalar_shadow: dict[str, np.ndarray] = {}
+        self.scalar_cache: dict[str, tuple] = {}
+
+    def loop_vec(self, name: str):
+        if name == self.plan.j:
+            return self.jvec
+        if name == self.plan.i and self._i is not None:
+            return self._i
+        return None
+
+    @property
+    def env(self):
+        return self._env
+
+    def _array(self, name: str) -> tuple:
+        t = self.tables.get(name)
+        if t is None:
+            plan = self.plan
+            symbol = plan.array_symbols[name]
+            jdim = plan.jdims[name]
+            jlow, jhigh = symbol.dims[jdim]
+            if int(self.jvec.min()) < jlow or int(self.jvec.max()) > jhigh:
+                raise _Bail(f"column index out of bounds for {name}")
+            joff = self.jvec - jlow
+            other = symbol.extent(1 - jdim)
+            memories = plan.sim.memories
+            dtype = memories[0].array_dtype(name)
+            w = np.empty((other, self.nj), dtype=dtype)
+            v = np.empty((other, self.nj), dtype=np.bool_)
+            for r, cols in self.cols_of.items():
+                data = memories[r].arrays[name]
+                valid = memories[r].valid[name]
+                jsel = joff[cols]
+                if jdim == 1:
+                    w[:, cols] = data[:, jsel]
+                    v[:, cols] = valid[:, jsel]
+                else:
+                    w[:, cols] = data[jsel, :].T
+                    v[:, cols] = valid[jsel, :].T
+            t = (w, v, np.zeros((other, self.nj), dtype=np.bool_), joff)
+            self.tables[name] = t
+        return t
+
+    def _row(self, ref: ArrayElemRef) -> int:
+        plan = self.plan
+        jdim = plan.jdims[ref.symbol.name]
+        form = plan.row_form_of(ref, 1 - jdim)
+        vec_vars = {} if self._i is None else {plan.i: self._i}
+        idx = _affine_vec(form, vec_vars, self._env)
+        if isinstance(idx, np.ndarray):
+            raise _Bail("row subscript not scalar")
+        return _bounds_checked_offset(int(idx), ref.symbol, 1 - jdim)
+
+    def read_scalar(self, ref: ScalarRef):
+        name = ref.symbol.name
+        if name in self._env:
+            v = self._env[name]
+            return v, isinstance(v, int)
+        vec = self.scalar_shadow.get(name)
+        if vec is not None:
+            return vec, vec.dtype.kind in "bi"
+        if name in self.plan.written_scalars:
+            # read before the first in-column write: the value would
+            # flow across columns
+            raise _Bail(f"scalar {name} read before its definition")
+        cached = self.scalar_cache.get(name)
+        if cached is not None:
+            return cached
+        memories = self.plan.sim.memories
+        values = {}
+        for r in self.cols_of:
+            if not memories[r].scalar_is_valid(name):
+                raise _Bail(f"scalar {name} read would fetch")
+            values[r] = memories[r].scalars[name]
+        kinds = {isinstance(v, int) for v in values.values()}
+        if len(kinds) != 1:
+            raise _Bail(f"scalar {name} mixes types across ranks")
+        is_int = kinds.pop()
+        vec = np.empty(self.nj, dtype=np.int64 if is_int else np.float64)
+        for r, cols in self.cols_of.items():
+            vec[cols] = values[r]
+        result = (vec, is_int)
+        self.scalar_cache[name] = result
+        return result
+
+    def read_array(self, ref: ArrayElemRef):
+        w, v, written, _joff = self._array(ref.symbol.name)
+        row = self._row(ref)
+        if not bool((v[row] | written[row]).all()):
+            raise _Bail(f"array {ref.symbol.name} read would fetch")
+        data = w[row].copy()
+        return data, data.dtype.kind in "bi"
+
+    def process(self, st: _Step) -> None:
+        value, is_int = _eval(st.rhs, self)
+        vec = _coerce_vec(value, is_int, st.stype, self.nj)
+        if st.kind == "array":
+            w, _v, written, _joff = self._array(st.name)
+            row = self._row(st.stmt.lhs)
+            w[row] = vec
+            written[row] = True
+        else:
+            self.scalar_shadow[st.name] = vec
+            self.scalar_cache.pop(st.name, None)
+
+
+class ColumnPlan:
+    """Column-wise execution of an outer loop wrapping one sequential
+    inner loop: the outer iterations (columns) are the lanes; the inner
+    loop runs step by step with each statement vectorized across all
+    columns at once.  Exact because every array reference touches only
+    its own column and every statement executes on that column's owner
+    (both checked statically), so the columns evolve independently in
+    program order."""
+
+    def __init__(self, slab: "SlabExecutor", loop: LoopStmt):
+        sim = slab.sim
+        fast = slab.fast
+        self.sim = sim
+        self.fast = fast
+        self.loop = loop
+        self.j = loop.var.name
+        if sim.grid.rank != 1:
+            raise _Bail("grid is not one-dimensional")
+        inner = None
+        pre: list[_Step] = []
+        post: list[_Step] = []
+
+        def make_step(stmt) -> _Step:
+            dt = fast._dt.get(stmt.stmt_id)
+            if dt is None:
+                raise _Bail("statement not lowered")
+            if stmt.stmt_id in sim._reduction_updates:
+                raise _Bail("reduction update in body")
+            st = _Step(stmt, dt)
+            st.kind = "array" if isinstance(stmt.lhs, ArrayElemRef) else "scalar"
+            return st
+
+        for stmt in loop.body:
+            if isinstance(stmt, ContinueStmt):
+                continue
+            if isinstance(stmt, LoopStmt):
+                if inner is not None:
+                    raise _Bail("more than one inner loop")
+                inner = stmt
+                continue
+            if not isinstance(stmt, AssignStmt):
+                raise _Bail("non-assign in body")
+            (pre if inner is None else post).append(make_step(stmt))
+        if inner is None:
+            raise _Bail("no inner loop")
+        if inner.stmt_id in sim._reductions_by_loop:
+            raise _Bail("inner loop combines a reduction")
+        self.inner = inner
+        self.i = inner.var.name
+        body: list[_Step] = []
+        for stmt in inner.body:
+            if isinstance(stmt, ContinueStmt):
+                continue
+            if not isinstance(stmt, AssignStmt):
+                raise _Bail("non-assign in inner body")
+            body.append(make_step(stmt))
+        self.pre, self.body, self.post = pre, body, post
+        all_steps = pre + body + post
+        if not all_steps:
+            raise _Bail("empty body")
+        # canonical executor position (identical across statements)
+        self.pos_form = None
+        self.pos_fmt = None
+        canon = _MISSING
+        for st in all_steps:
+            info = sim.compiled.executors.get(st.sid)
+            if info is None or info.kind != "owner" or len(info.position) != 1:
+                raise _Bail("executor is not a 1-D owner position")
+            dim = info.position[0]
+            if dim.kind != "pos" or dim.form is None or dim.fmt is None:
+                raise _Bail("executor position is not a point")
+            c = _canon_form(dim.form)
+            if canon is _MISSING:
+                canon = c
+                self.pos_form = dim.form
+                self.pos_fmt = dim.fmt
+            elif c != canon:
+                raise _Bail("executor position differs across statements")
+        # written names; column discipline per array
+        self.written_scalars: set[str] = set()
+        self.written_arrays: set[str] = set()
+        self.jdims: dict[str, int] = {}
+        self.array_symbols: dict[str, Any] = {}
+        self._row_forms: dict[int, Any] = {}
+        for st in all_steps:
+            if st.kind == "scalar":
+                self.written_scalars.add(st.name)
+            else:
+                self.written_arrays.add(st.name)
+            refs = [st.stmt.lhs] if st.kind == "array" else []
+            refs.extend(
+                r for r in st.rhs.refs() if isinstance(r, ArrayElemRef)
+            )
+            for ref in refs:
+                self._register_ref(ref)
+        # the executor position may only depend on j (and constants)
+        for sym, _c in self.pos_form.coeffs:
+            if sym.value is None and sym.name != self.j:
+                if not sym.is_loop_var or sym.name in self.written_scalars:
+                    raise _Bail("executor position not a column function")
+        # inner bounds must not change during the takeover
+        for bound in (inner.low, inner.high, inner.step):
+            if bound is None:
+                continue
+            for ref in bound.refs():
+                if isinstance(ref, ScalarRef) and (
+                    ref.symbol.name in (self.j, self.i)
+                    or ref.symbol.name in self.written_scalars
+                ):
+                    raise _Bail("inner bounds vary during the takeover")
+
+    def _register_ref(self, ref: ArrayElemRef) -> None:
+        name = ref.symbol.name
+        if len(ref.subscripts) != 2:
+            raise _Bail("only rank-2 arrays supported column-wise")
+        forms = [affine_form(s) for s in ref.subscripts]
+        if any(f is None for f in forms):
+            raise _Bail("non-affine subscript")
+        jdim = None
+        for d, f in enumerate(forms):
+            c = _canon_form(f)
+            if c == (0, ((self.j, 1),)):
+                if jdim is not None:
+                    raise _Bail("two column dimensions")
+                jdim = d
+            elif any(nm == self.j for nm, _ in c[1]):
+                raise _Bail("mixed column subscript")
+        if jdim is None:
+            raise _Bail(f"{name}: reference has no column dimension")
+        if self.jdims.setdefault(name, jdim) != jdim:
+            raise _Bail(f"{name}: inconsistent column dimension")
+        self.array_symbols.setdefault(name, ref.symbol)
+        row = forms[1 - jdim]
+        for sym, _c in row.coeffs:
+            if sym.value is not None:
+                continue
+            if sym.name == self.i:
+                continue
+            if sym.is_loop_var and sym.name != self.j:
+                continue  # env-resolved outer index
+            raise _Bail(f"row subscript depends on scalar {sym.name}")
+        self._row_forms[ref.ref_id] = row
+
+    def row_form_of(self, ref: ArrayElemRef, row_dim: int):
+        form = self._row_forms.get(ref.ref_id)
+        if form is None:
+            raise _Bail("unregistered reference")
+        return form
+
+    # ------------------------------------------------------------------
+
+    def prepare(self, low: int, high: int, step: int, env) -> Callable:
+        nj = (high - low + step) // step
+        sim = self.sim
+        if nj <= 0:
+            def commit_empty():
+                pass
+            return commit_empty
+        jvec = low + step * np.arange(nj, dtype=np.int64)
+        pos = _affine_vec(self.pos_form, {self.j: jvec}, env)
+        pos = np.asarray(pos, dtype=np.int64)
+        if pos.ndim == 0:
+            pos = np.full(nj, int(pos), dtype=np.int64)
+        fmt = self.pos_fmt
+        if pos.size and (int(pos.min()) < 0 or int(pos.max()) >= fmt.extent):
+            raise _Bail("executor position out of range")
+        owner = np.asarray(self.fast.etables.owner_table(fmt), dtype=np.int64)
+        coord = owner[pos]
+        rank_of = np.asarray(
+            [sim.grid.rank_of((c,)) for c in range(sim.grid.shape[0])],
+            dtype=np.int64,
+        )
+        exec_col = rank_of[coord]
+        cols_of = {
+            int(r): np.nonzero(exec_col == r)[0]
+            for r in np.unique(exec_col)
+        }
+        # inner bounds: evaluated once (checked invariant), uncharged,
+        # exactly like the per-iteration walker's eval_bound
+        try:
+            li = self.fast.eval_bound(self.inner.low, env)
+            hi = self.fast.eval_bound(self.inner.high, env)
+            si = (
+                self.fast.eval_bound(self.inner.step, env)
+                if self.inner.step is not None
+                else 1
+            )
+        except _Bail:
+            raise
+        except Exception:
+            raise _Bail("inner bounds not evaluable") from None
+        if si == 0:
+            raise _Bail("zero inner step")
+        nsteps = max(0, (hi - li + si) // si)
+        ctx = _ColCtx(self, jvec, env, exec_col, cols_of)
+        with np.errstate(over="ignore", invalid="ignore"):
+            for st in self.pre:
+                ctx.process(st)
+            for t in range(nsteps):
+                ctx._i = li + t * si
+                for st in self.body:
+                    ctx.process(st)
+            ctx._i = None
+            for st in self.post:
+                ctx.process(st)
+
+        def commit():
+            memories = sim.memories
+            clocks = sim.clocks
+            seq = np.concatenate([
+                np.asarray([st.dt for st in self.pre], dtype=np.float64),
+                np.tile(
+                    np.asarray([st.dt for st in self.body], dtype=np.float64),
+                    nsteps,
+                ),
+                np.asarray([st.dt for st in self.post], dtype=np.float64),
+            ])
+            for r, cols in cols_of.items():
+                if seq.size:
+                    clocks.charge_compute_tape(r, np.tile(seq, cols.size))
+            many = sim.grid.size > 1
+            for name, (w, _v, written, joff) in ctx.tables.items():
+                if not written.any():
+                    continue
+                jdim = self.jdims[name]
+                rws, cs = np.nonzero(written)
+                for r, cols in cols_of.items():
+                    sel = exec_col[cs] == r
+                    if not sel.any():
+                        continue
+                    rsel, csel = rws[sel], cs[sel]
+                    memory = memories[r]
+                    data, valid = memory.arrays[name], memory.valid[name]
+                    if jdim == 1:
+                        data[rsel, joff[csel]] = w[rsel, csel]
+                        valid[rsel, joff[csel]] = True
+                    else:
+                        data[joff[csel], rsel] = w[rsel, csel]
+                        valid[joff[csel], rsel] = True
+                    memory.versions[name] += int(sel.sum())
+                if many:
+                    for r2, memory in enumerate(memories):
+                        sel = exec_col[cs] != r2
+                        if not sel.any():
+                            continue
+                        rsel, csel = rws[sel], cs[sel]
+                        valid = memory.valid[name]
+                        if jdim == 1:
+                            valid[rsel, joff[csel]] = False
+                        else:
+                            valid[joff[csel], rsel] = False
+                        memory.versions[name] += int(sel.sum())
+            # every column's owner stores its own last value (the stored
+            # value persists even once a later column invalidates it)
+            last_rank = int(exec_col[-1])
+            for name, vec in ctx.scalar_shadow.items():
+                for r, cols in cols_of.items():
+                    memories[r].scalar_store(name, vec[cols[-1]].item())
+                if many:
+                    for r2, memory in enumerate(memories):
+                        if r2 != last_rank:
+                            memory.scalar_invalidate(name)
+            if self.i not in env:
+                # the walker's per-iteration epilogue would have left
+                # the inner index at its final value
+                env[self.i] = li + nsteps * si
+            sim.slab_instances += nj * (
+                len(self.pre) + len(self.post) + nsteps * len(self.body)
+            )
+
+        return commit
+
+
+# ---------------------------------------------------------------------------
+# Executor
+# ---------------------------------------------------------------------------
+
+
+class SlabExecutor:
+    """Tier-3 entry point: owns the eligibility report and one runtime
+    plan per loop, attempts takeovers, and falls back on any bail."""
+
+    def __init__(self, fast):
+        self.fast = fast
+        self.sim = fast.sim
+        sim = self.sim
+        report = getattr(sim.compiled, "slabs", None)
+        if report is None or report.ir_epoch != sim.proc.ir_epoch:
+            reduction_ids = {
+                s.stmt_id
+                for red in sim.compiled.ctx.reductions
+                for s in red.update_stmts
+            }
+            report = classify_procedure(
+                sim.proc,
+                sim.compiled.executors,
+                sim.compiled.comm.events,
+                reduction_ids,
+                grid_rank=sim.grid.rank,
+            )
+        self.report = report
+        self._plans: dict[int, Any] = {}
+
+    def _build(self, stmt: LoopStmt):
+        sid = stmt.stmt_id
+        try:
+            if self.report.inner.get(sid) == "ok":
+                return InnerPlan(self, stmt)
+            if self.report.column.get(sid) == "ok":
+                return ColumnPlan(self, stmt)
+        except _Bail:
+            return None
+        except Exception:
+            return None
+        return None
+
+    def run_loop(self, stmt: LoopStmt, low: int, high: int, step: int,
+                 env) -> bool:
+        plan = self._plans.get(stmt.stmt_id, _MISSING)
+        if plan is _MISSING:
+            plan = self._build(stmt)
+            self._plans[stmt.stmt_id] = plan
+        if plan is None:
+            return False
+        # Phase A (prepare) mutates nothing: any bail or unexpected
+        # error falls back to tier 2, which replays the loop exactly.
+        try:
+            commit = plan.prepare(low, high, step, env)
+        except _Bail:
+            return False
+        except Exception:
+            return False
+        # Phase B (commit) is outside the net: a failure here would mean
+        # corrupted state and must surface, not silently re-execute.
+        commit()
+        return True

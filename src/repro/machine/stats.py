@@ -4,7 +4,26 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..comm.costmodel import MachineModel
+
+
+def sequential_sum(start: float, dts: np.ndarray) -> float:
+    """Left-fold ``start + dts[0] + dts[1] + ...`` with exactly the
+    rounding of a sequential ``+=`` loop.
+
+    ``np.ufunc.accumulate`` is specified as strictly sequential
+    (``r[i] = op(r[i-1], a[i])``), unlike ``np.sum``/``np.add.reduce``
+    whose pairwise summation reassociates; the slab engine relies on
+    this to charge a whole iteration slab in one call while staying
+    bit-for-bit identical to per-iteration charging."""
+    if dts.size == 0:
+        return start
+    buf = np.empty(dts.size + 1, dtype=np.float64)
+    buf[0] = start
+    buf[1:] = dts
+    return float(np.add.accumulate(buf)[-1])
 
 
 @dataclass
@@ -26,6 +45,17 @@ class TrafficStats:
             self.unexpected_fetches += 1
         else:
             self.per_event_fetches[key] = self.per_event_fetches.get(key, 0) + 1
+
+    def record_fetch_batch(self, key: tuple[int, int] | None, count: int) -> None:
+        """Exactly ``count`` single-element ``record_fetch`` calls."""
+        if count <= 0:
+            return
+        self.fetches += count
+        self.elements += count
+        if key is None:
+            self.unexpected_fetches += count
+        else:
+            self.per_event_fetches[key] = self.per_event_fetches.get(key, 0) + count
 
     def as_dict(self) -> dict:
         """JSON-serializable snapshot (tuple keys stringified), used by
@@ -122,6 +152,17 @@ class Clocks:
         self.time[dst] = start + dt
         self.comm_time[src] += dt
         self.comm_time[dst] += dt
+
+    def charge_compute_tape(self, rank: int, dts: np.ndarray) -> None:
+        """Batched compute charging, bit-for-bit identical to calling
+        ``charge_compute`` once per tape entry: ``dts`` holds the
+        precomputed per-instance ``dt`` values (flops x flop_time +
+        statement overhead); 0.0 entries are bitwise no-ops, which is
+        how masked-off guarded instances are encoded."""
+        if dts.size == 0:
+            return
+        self.time[rank] = sequential_sum(self.time[rank], dts)
+        self.compute_time[rank] = sequential_sum(self.compute_time[rank], dts)
 
     def charge_collective(self, ranks: list[int], elements: int, kind: str) -> None:
         if len(ranks) <= 1:
