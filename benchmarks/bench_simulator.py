@@ -21,6 +21,7 @@ import pytest
 
 from repro.core import CompilerOptions, compile_source
 from repro.machine import simulate
+from repro.obs import Metrics, Tracer, validate_chrome_trace
 from repro.programs import (
     appsp_inputs,
     appsp_source,
@@ -123,8 +124,19 @@ def test_engine_speedups(name, source, inputs, gates):
     slab = simulate(compiled, inputs, fast_path=True, slab_path=True)
     slab_s = time.perf_counter() - started
 
+    # Disabled-tracer overhead: the same slab run with an explicit
+    # disabled Tracer attached must cost what the default (NULL_TRACER)
+    # run costs — the obs hooks are one attribute load and one branch.
+    started = time.perf_counter()
+    traced = simulate(
+        compiled, inputs, fast_path=True, slab_path=True,
+        tracer=Tracer(enabled=False),
+    )
+    slab_traced_s = time.perf_counter() - started
+
     assert_identical(fast, slow)
     assert_identical(slab, slow)
+    assert_identical(traced, slow)
     for array in inputs:
         assert fast.gather(array).tobytes() == slow.gather(array).tobytes()
         assert slab.gather(array).tobytes() == slow.gather(array).tobytes()
@@ -135,17 +147,31 @@ def test_engine_speedups(name, source, inputs, gates):
         "speedup_vs_lowered": lowered_s / slab_s,
         "slab_coverage": slab.slab_coverage,
     }
+    tracer_overhead = slab_traced_s / slab_s
     _RESULTS[name] = {
         "interpreted_s": round(interpreted_s, 4),
         "lowered_s": round(lowered_s, 4),
         "slab_s": round(slab_s, 4),
         **{k: round(v, 3) for k, v in measured.items()},
+        "tracer_overhead": round(tracer_overhead, 4),
+        # coverage/traffic columns (identical across tiers by the
+        # asserts above)
+        "messages": slab.stats.messages,
+        "elements": slab.stats.elements,
+        "fetches": slab.stats.fetches,
         "paper_size": not SMOKE,
     }
     _write_json()
     for metric, floor in gates.items():
         assert measured[metric] >= floor, (
             f"{name}: {metric} only {measured[metric]:.3f} (need >={floor})"
+        )
+    if not SMOKE and name == "tomcatv":
+        # the ISSUE's acceptance bound; smoke sizes are milliseconds and
+        # too noisy for a 2% ratio, so only the paper size asserts
+        assert tracer_overhead <= 1.02, (
+            f"{name}: disabled-tracer slab run {tracer_overhead:.4f}x "
+            "the default run (need <=1.02)"
         )
 
 
@@ -171,6 +197,41 @@ _SMALL = [
         appsp_inputs(6, 6, 6),
     ),
 ]
+
+
+def test_trace_and_metrics_artifacts(output_dir):
+    """An enabled run emits a valid Chrome trace and a metrics JSON;
+    both land in ``benchmarks/output/`` (CI uploads them), and tracing
+    does not perturb the machine state."""
+    from repro.core.passes import PassManager
+
+    source = tomcatv_source(n=33, niter=1, procs=8)
+    inputs = tomcatv_inputs(33)
+    tracer = Tracer()
+    metrics = Metrics()
+    manager = PassManager(tracer=tracer)
+    compiled = compile_source(source, CompilerOptions(), manager=manager)
+    traced = simulate(compiled, inputs, tracer=tracer, metrics=metrics)
+    manager.collect_metrics(metrics)
+
+    plain = simulate(compiled, inputs)
+    assert_identical(traced, plain)
+
+    assert len(tracer) > 0
+    chrome = tracer.to_chrome()
+    assert validate_chrome_trace(chrome) == []
+    names = {e["name"] for e in chrome["traceEvents"]}
+    assert any(n.startswith("pass:") for n in names)
+    assert any(n.startswith("simulate[") for n in names)
+
+    trace_path = output_dir / "trace_tomcatv.json"
+    tracer.write(str(trace_path))
+    assert validate_chrome_trace(json.loads(trace_path.read_text())) == []
+    metrics_path = output_dir / "metrics_tomcatv.json"
+    metrics.write(str(metrics_path))
+    loaded = json.loads(metrics_path.read_text())
+    assert loaded["gauges"]["sim.messages"] == plain.stats.messages
+    assert loaded["gauges"]["sim.slab_coverage"] >= 0.8
 
 
 @pytest.mark.parametrize("vname,options", _variants(), ids=[v[0] for v in _variants()])

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""CI determinism gate.
+
+Runs ``python -m repro run`` twice on the same tomcatv program in two
+*separate* processes and byte-compares the ``--stats-json`` output.
+The payload (``SPMDSimulator.canonical_stats``) keys per-event traffic
+on the stable event ordinal, so two runs of the same source must be
+byte-identical — any drift means communication charging picked up a
+run-varying input again (the ``id(event)`` coalescing-key bug this
+gate was built to catch).
+
+Usage::
+
+    python benchmarks/determinism_gate.py [--n 33] [--niter 2]
+                                          [--procs 8] [--verbose]
+
+Exits 0 on byte-identical stats, 1 on mismatch (with a unified diff).
+"""
+
+import argparse
+import difflib
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC_DIR = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC_DIR))
+
+from repro.programs import tomcatv_source  # noqa: E402
+
+
+def run_once(program: pathlib.Path, procs: int, stats: pathlib.Path) -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    env.setdefault("PYTHONHASHSEED", "0")
+    subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "run",
+            str(program),
+            "--procs",
+            str(procs),
+            "--stats-json",
+            str(stats),
+        ],
+        check=True,
+        env=env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL if not VERBOSE else None,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=33, help="tomcatv grid size")
+    parser.add_argument("--niter", type=int, default=2)
+    parser.add_argument("--procs", type=int, default=8)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args()
+
+    global VERBOSE
+    VERBOSE = args.verbose
+
+    with tempfile.TemporaryDirectory(prefix="determinism-gate-") as tmp:
+        tmpdir = pathlib.Path(tmp)
+        program = tmpdir / "tomcatv.hpf"
+        program.write_text(
+            tomcatv_source(n=args.n, niter=args.niter, procs=args.procs)
+        )
+        first = tmpdir / "stats_run1.json"
+        second = tmpdir / "stats_run2.json"
+        run_once(program, args.procs, first)
+        run_once(program, args.procs, second)
+        a, b = first.read_bytes(), second.read_bytes()
+        if a == b:
+            print(
+                f"determinism gate PASSED: two tomcatv runs "
+                f"(n={args.n}, niter={args.niter}, procs={args.procs}) "
+                f"produced byte-identical stats ({len(a)} bytes)"
+            )
+            return 0
+        print("determinism gate FAILED: stats differ between runs")
+        diff = difflib.unified_diff(
+            a.decode().splitlines(keepends=True),
+            b.decode().splitlines(keepends=True),
+            fromfile="run1/stats.json",
+            tofile="run2/stats.json",
+        )
+        sys.stdout.writelines(diff)
+        return 1
+
+
+VERBOSE = False
+
+if __name__ == "__main__":
+    raise SystemExit(main())

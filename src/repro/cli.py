@@ -4,7 +4,8 @@ Usage (also via ``python -m repro``)::
 
     repro compile PROGRAM.hpf [--procs 16] [--strategy selected] [--spmd]
     repro estimate PROGRAM.hpf [--procs 1 2 4 8 16] [...]
-    repro run PROGRAM.hpf [--procs 4] [--seed 0]
+    repro run PROGRAM.hpf [--procs 4] [--seed 0] [--trace out.json]
+              [--metrics] [--metrics-json m.json] [--stats-json s.json]
     repro tables [--table 1 2 3] [--fast]
 
 ``compile`` prints the mapping report (and optionally the SPMD
@@ -27,7 +28,10 @@ from .ir.build import parse_and_build
 from .perf.estimator import PerfEstimator
 
 
-def _compiler_options(args) -> CompilerOptions:
+def _compiler_options(args, num_procs: int | None = None) -> CompilerOptions:
+    """Fresh options from the parsed flags; ``num_procs`` is explicit so
+    sweeps build one options object per processor count instead of
+    mutating the shared argparse namespace."""
     return CompilerOptions(
         strategy=args.strategy,
         align_reductions=not args.no_reduction_alignment,
@@ -37,7 +41,7 @@ def _compiler_options(args) -> CompilerOptions:
         message_vectorization=not args.no_message_vectorization,
         combine_messages=args.combine_messages,
         auto_privatize_arrays=args.auto_privatize_arrays,
-        num_procs=getattr(args, "procs_single", None),
+        num_procs=num_procs,
     )
 
 
@@ -80,8 +84,9 @@ def _read_source(path: str) -> str:
 
 def cmd_compile(args) -> int:
     source = _read_source(args.program)
-    args.procs_single = args.procs
-    compiled = compile_source(source, _compiler_options(args))
+    compiled = compile_source(
+        source, _compiler_options(args, num_procs=args.procs)
+    )
     print(compiled.report())
     if getattr(args, "timings", False):
         print()
@@ -101,8 +106,9 @@ def cmd_compile(args) -> int:
 
 def cmd_profile(args) -> int:
     source = _read_source(args.program)
-    args.procs_single = args.procs
-    compiled = compile_source(source, _compiler_options(args))
+    compiled = compile_source(
+        source, _compiler_options(args, num_procs=args.procs)
+    )
     estimate = PerfEstimator(compiled).estimate()
     print(estimate.summary())
     print()
@@ -121,27 +127,71 @@ def cmd_profile(args) -> int:
 
 
 def cmd_estimate(args) -> int:
+    from .core.passes import PassManager
+
     source = _read_source(args.program)
+    # One manager for the whole sweep: every procs value gets a fresh
+    # CompilerOptions (the namespace is never mutated), so the cached
+    # front-end analyses and --timings see consistent option closures.
+    manager = PassManager()
     print(f"{'P':>6} {'total':>12} {'compute':>12} {'comm':>12}")
     for procs in args.procs:
-        args.procs_single = procs
-        compiled = compile_source(source, _compiler_options(args))
+        compiled = compile_source(
+            source, _compiler_options(args, num_procs=procs), manager=manager
+        )
         estimate = PerfEstimator(compiled).estimate()
         print(
             f"{procs:>6} {estimate.total_time:>11.4f}s "
             f"{estimate.compute_time:>11.4f}s {estimate.comm_time:>11.4f}s"
         )
+    if getattr(args, "timings", False):
+        print()
+        print("pipeline timings (whole sweep):")
+        print(manager.metrics.render())
     return 0
 
 
+def _trace_arg(value: str):
+    """``--trace N`` keeps the legacy ring-buffer dump; ``--trace
+    OUT.json`` writes a Chrome trace_event file instead."""
+    try:
+        return int(value)
+    except ValueError:
+        return value
+
+
 def cmd_run(args) -> int:
+    import json
+
     import numpy as np
 
     from .machine.simulator import simulate
+    from .obs import Metrics, Tracer
 
     source = _read_source(args.program)
-    args.procs_single = args.procs
-    compiled = compile_source(source, _compiler_options(args))
+
+    trace_arg = getattr(args, "trace", 0)
+    ring_capacity = trace_arg if isinstance(trace_arg, int) else 0
+    trace_path = trace_arg if isinstance(trace_arg, str) else None
+    want_metrics = bool(
+        getattr(args, "metrics", False) or getattr(args, "metrics_json", None)
+    )
+    tracer = Tracer() if trace_path else None
+    metrics = Metrics() if want_metrics else None
+
+    if tracer is not None or metrics is not None:
+        from .core.passes import PassManager
+
+        manager = PassManager(tracer=tracer)
+        compiled = compile_source(
+            source, _compiler_options(args, num_procs=args.procs),
+            manager=manager,
+        )
+    else:
+        manager = None
+        compiled = compile_source(
+            source, _compiler_options(args, num_procs=args.procs)
+        )
 
     rng = np.random.default_rng(args.seed)
     proc = parse_and_build(source)
@@ -151,7 +201,13 @@ def cmd_run(args) -> int:
         inputs[symbol.name] = rng.uniform(0.5, 1.5, shape)
 
     sequential = run_sequential(proc, inputs)
-    sim = simulate(compiled, inputs, trace_capacity=getattr(args, "trace", 0))
+    sim = simulate(
+        compiled,
+        inputs,
+        trace_capacity=ring_capacity,
+        tracer=tracer,
+        metrics=metrics,
+    )
     all_match = True
     for symbol in compiled.proc.symbols.arrays():
         match = bool(
@@ -165,10 +221,29 @@ def cmd_run(args) -> int:
         f"{sim.stats.fetches} fetches "
         f"({sim.stats.unexpected_fetches} unexpected)"
     )
-    if getattr(args, "trace", 0):
+    if ring_capacity:
         print()
         print("trace:")
         print(sim.trace.render())
+    if tracer is not None:
+        tracer.write(trace_path)
+        print(f"wrote {len(tracer)} trace event(s) to {trace_path}")
+    if metrics is not None:
+        if manager is not None:
+            manager.collect_metrics(metrics)
+        metrics_path = getattr(args, "metrics_json", None)
+        if metrics_path:
+            metrics.write(metrics_path)
+            print(f"wrote metrics to {metrics_path}")
+        if getattr(args, "metrics", False):
+            print()
+            print("metrics:")
+            print(metrics.render())
+    stats_path = getattr(args, "stats_json", None)
+    if stats_path:
+        with open(stats_path, "w", encoding="utf-8") as handle:
+            json.dump(sim.canonical_stats(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
     return 0 if all_match and sim.stats.unexpected_fetches == 0 else 1
 
 
@@ -240,8 +315,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--procs", type=int, default=4)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument(
-        "--trace", type=int, default=0, metavar="N",
-        help="print the first N runtime communication events",
+        "--trace", type=_trace_arg, default=0, metavar="N|OUT.json",
+        help="an integer prints the first N runtime communication "
+        "events; a path writes a Chrome trace_event JSON file",
+    )
+    p_run.add_argument(
+        "--metrics", action="store_true",
+        help="collect and print the repro.obs metrics registry",
+    )
+    p_run.add_argument(
+        "--metrics-json", metavar="OUT.json", default=None,
+        help="write the collected metrics as flat JSON",
+    )
+    p_run.add_argument(
+        "--stats-json", metavar="OUT.json", default=None,
+        help="write canonical clocks + traffic stats JSON "
+        "(the CI determinism gate diffs two of these)",
     )
     p_run.set_defaults(func=cmd_run)
 

@@ -74,6 +74,8 @@ class CommAnalysis:
             elif isinstance(stmt, LoopStmt):
                 self._analyze_bounds(stmt, report)
         self._collect_reductions(report)
+        for ordinal, event in enumerate(report.events):
+            event.ordinal = ordinal
         return report
 
     # ------------------------------------------------------------------

@@ -27,6 +27,11 @@ class CommEvent:
     executor_position: Position
     #: why the event exists (reporting/debugging)
     note: str = ""
+    #: stable per-compile identity, assigned in program order at
+    #: comm-analysis time; the simulator's fetch-coalescing keys use it
+    #: (never ``id()``) so startup charging is deterministic across
+    #: runs, GC, and pickle round-trips
+    ordinal: int = -1
     #: exact duplicates absorbed by message combining (same data, same
     #: placement — transferred once, needed by several statements);
     #: they contribute no cost but keep their identity for the runtime

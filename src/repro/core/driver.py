@@ -45,6 +45,7 @@ if TYPE_CHECKING:  # provided by comm/machine passes; no runtime dependency
     from ..comm.events import CommReport
     from ..machine.lowering import LoweredIR
     from ..machine.slabexec import SlabReport
+    from ..obs import Tracer
 
 
 @dataclass
@@ -165,9 +166,10 @@ def compile_procedure(
     *,
     manager: PassManager | None = None,
     timings: PipelineTimings | None = None,
+    tracer: "Tracer | None" = None,
 ) -> CompiledProgram:
     options = options or CompilerOptions()
-    manager = manager or PassManager()
+    manager = manager or PassManager(tracer=tracer)
     state, run_timings = manager.run(proc, options)
     all_timings = (timings or PipelineTimings()).merge(run_timings)
     return CompiledProgram(
@@ -190,8 +192,11 @@ def compile_source(
     options: CompilerOptions | None = None,
     *,
     manager: PassManager | None = None,
+    tracer: "Tracer | None" = None,
 ) -> CompiledProgram:
-    manager = manager or PassManager()
+    """``tracer`` (repro.obs) instruments the pipeline when no explicit
+    ``manager`` is given; a passed-in manager keeps its own tracer."""
+    manager = manager or PassManager(tracer=tracer)
     timings = PipelineTimings()
     proc = manager.parse(source, timings)
     return compile_procedure(proc, options, manager=manager, timings=timings)

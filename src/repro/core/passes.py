@@ -35,6 +35,7 @@ from typing import Any, Callable, NamedTuple
 from ..errors import ReproError
 from ..ir.build import parse_and_build
 from ..ir.program import Procedure
+from ..obs import Metrics, NULL_TRACER, Tracer
 from ..mapping.grid import ProcessorGrid
 from ..partition.owner_computes import run_partitioning
 from .array_mapping import ArrayMappingOptions, run_array_mapping
@@ -314,10 +315,14 @@ class PassManager:
         self,
         pipeline: tuple[str, ...] = DEFAULT_PIPELINE,
         cache: AnalysisCache | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.pipeline = tuple(pipeline)
         self.cache = cache if cache is not None else AnalysisCache()
         self.metrics = PipelineTimings()
+        #: repro.obs tracer wrapping parse and every pass execution;
+        #: the disabled NULL_TRACER by default
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._parse_cache: dict[str, Procedure] = {}
         self._option_closures: dict[str, tuple[str, ...]] = {}
 
@@ -329,11 +334,13 @@ class PassManager:
         with it every cached analysis."""
         digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
         started = time.perf_counter()
-        proc = self._parse_cache.get(digest)
-        cached = proc is not None
-        if proc is None:
-            proc = parse_and_build(source)
-            self._parse_cache[digest] = proc
+        with self.tracer.span("parse", cat="compile") as span:
+            proc = self._parse_cache.get(digest)
+            cached = proc is not None
+            if proc is None:
+                proc = parse_and_build(source)
+                self._parse_cache[digest] = proc
+            span.add(cached=cached)
         elapsed = time.perf_counter() - started
         for sink in (timings, self.metrics):
             if sink is not None:
@@ -383,26 +390,31 @@ class PassManager:
         executed: list[Pass],
     ) -> None:
         started = time.perf_counter()
-        key = self._cache_key(p, state)
-        if key is not None:
-            hit = self.cache.lookup(key)
-            if hit is not None:
-                state.products.update(hit)
-                self._record(p.name, time.perf_counter() - started, timings, True)
-                return
-        missing = [r for r in p.requires if r not in state.products]
-        if missing:
-            raise PassError(
-                f"pass {p.name!r} requires {missing!r}, not produced by any "
-                f"earlier pass in pipeline {self.pipeline}"
-            )
-        epoch_before = state.proc.ir_epoch
-        products = p.run(state) or {}
-        state.products.update(products)
-        if p.transforms_ir and state.proc.ir_epoch != epoch_before:
-            self._after_ir_mutation(p, state, products, timings, executed)
-        elif key is not None:
-            self.cache.store(key, products)
+        with self.tracer.span(f"pass:{p.name}", cat="compile") as span:
+            key = self._cache_key(p, state)
+            if key is not None:
+                hit = self.cache.lookup(key)
+                if hit is not None:
+                    state.products.update(hit)
+                    span.add(cached=True)
+                    self._record(
+                        p.name, time.perf_counter() - started, timings, True
+                    )
+                    return
+            missing = [r for r in p.requires if r not in state.products]
+            if missing:
+                raise PassError(
+                    f"pass {p.name!r} requires {missing!r}, not produced by any "
+                    f"earlier pass in pipeline {self.pipeline}"
+                )
+            epoch_before = state.proc.ir_epoch
+            products = p.run(state) or {}
+            state.products.update(products)
+            if p.transforms_ir and state.proc.ir_epoch != epoch_before:
+                self._after_ir_mutation(p, state, products, timings, executed)
+            elif key is not None:
+                self.cache.store(key, products)
+            span.add(cached=False)
         self._record(p.name, time.perf_counter() - started, timings, False)
 
     def _after_ir_mutation(
@@ -431,6 +443,32 @@ class PassManager:
     ) -> None:
         timings.record(name, seconds, cached=cached)
         self.metrics.record(name, seconds, cached=cached)
+
+    # -- obs export --------------------------------------------------------
+
+    def collect_metrics(self, metrics: Metrics) -> Metrics:
+        """Export everything the manager accumulated — analysis-cache
+        hit rates, per-pass call/hit/time tallies, and the lowering
+        LRU's counters — into a :class:`repro.obs.Metrics` registry."""
+        stats = self.cache.stats
+        metrics.gauge("compile.cache.hits", stats.hits)
+        metrics.gauge("compile.cache.misses", stats.misses)
+        metrics.gauge("compile.cache.invalidations", stats.invalidations)
+        metrics.gauge("compile.cache.entries", len(self.cache))
+        for name, timing in self.metrics.passes.items():
+            metrics.gauge(f"compile.pass[{name}].calls", timing.calls)
+            metrics.gauge(
+                f"compile.pass[{name}].cache_hits", timing.cache_hits
+            )
+            metrics.gauge(
+                f"compile.pass[{name}].seconds", round(timing.seconds, 6)
+            )
+        # deferred import: repro.machine depends on repro.core
+        from ..machine.lowering import lowering_cache_stats
+
+        for key, value in lowering_cache_stats().items():
+            metrics.gauge(f"lowering.cache.{key}", value)
+        return metrics
 
     # -- cache keys --------------------------------------------------------
 

@@ -119,6 +119,24 @@ class _NoFold(Exception):
     """Constant folding declined (e.g. non-finite float literal)."""
 
 
+#: what a best-effort constant fold may swallow: fold-declined
+#: (``_NoFold``), values the interpreter itself would reject at run
+#: time (``InterpreterError``: constant division by zero, unknown
+#: intrinsic), and numeric-domain errors.  Genuine programming errors
+#: (NameError, TypeError, ...) propagate.
+_FOLD_ERRORS = (
+    _NoFold,
+    InterpreterError,
+    ArithmeticError,
+    ValueError,
+    OverflowError,
+)
+
+#: what statement-level lowering may swallow before falling back to the
+#: interpreter: "stay interpreted" signals plus the fold error set
+_LOWER_ERRORS = (_CannotLower,) + _FOLD_ERRORS
+
+
 class _Emitted:
     __slots__ = ("code", "is_const", "value", "is_int")
 
@@ -232,7 +250,7 @@ class _ExprCompiler:
         if l.is_const and r.is_const:
             try:
                 return self._const(_apply_binop(op, l.value, r.value))
-            except Exception:  # fold is best-effort; runtime raises instead
+            except _FOLD_ERRORS:  # fold is best-effort; runtime raises instead
                 pass
         if op in ("+", "-", "*"):
             return _Emitted(
@@ -262,7 +280,7 @@ class _ExprCompiler:
                 return self._const(
                     _apply_intrinsic(name, [a.value for a in args])
                 )
-            except Exception:
+            except _FOLD_ERRORS:
                 pass
         codes = ", ".join(a.code for a in args)
         all_int = all(a.is_int for a in args)
@@ -354,6 +372,15 @@ class LoweredIR:
 _LOWERED_CACHE: OrderedDict[tuple[int, int], LoweredIR] = OrderedDict()
 _LOWERED_CACHE_MAX = 64
 
+#: process-wide hit/miss/eviction tallies of the lowering LRU, exposed
+#: through :func:`lowering_cache_stats` for the obs metrics export
+_CACHE_COUNTS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def lowering_cache_stats() -> dict[str, int]:
+    """Snapshot of the lowering LRU's activity since process start."""
+    return dict(_CACHE_COUNTS, size=len(_LOWERED_CACHE))
+
 
 def _compile_fn(name: str, body: str, glb: dict, lowered: LoweredIR, label: str):
     src = f"def {name}(R, env):\n    return {body}\n"
@@ -369,8 +396,10 @@ def lower_procedure(proc) -> LoweredIR:
     key = (proc.uid, proc.ir_epoch)
     cached = _LOWERED_CACHE.get(key)
     if cached is not None:
+        _CACHE_COUNTS["hits"] += 1
         _LOWERED_CACHE.move_to_end(key)
         return cached
+    _CACHE_COUNTS["misses"] += 1
     glb: dict[str, Any] = {
         "InterpreterError": InterpreterError,
         "_div": _div,
@@ -407,7 +436,7 @@ def lower_procedure(proc) -> LoweredIR:
                     f"_a{sid}", body, glb, lowered, f"{proc.name}:S{sid}"
                 )
                 lowered.lhs_info[sid] = (stmt.lhs.symbol.name, lows)
-            except Exception:
+            except _LOWER_ERRORS:
                 lowered.lhs_info.pop(sid, None)
         elif isinstance(stmt, IfStmt):
             lowered.flops[sid] = max(flops_of_expr(stmt.cond), 1)
@@ -420,7 +449,7 @@ def lower_procedure(proc) -> LoweredIR:
                     lowered,
                     f"{proc.name}:S{sid}",
                 )
-            except Exception:
+            except _LOWER_ERRORS:
                 pass
         elif isinstance(stmt, LoopStmt):
             for expr in (stmt.low, stmt.high, stmt.step):
@@ -435,10 +464,11 @@ def lower_procedure(proc) -> LoweredIR:
                         lowered,
                         f"{proc.name}:S{sid}:bound{len(lowered.bounds)}",
                     )
-                except Exception:
+                except _LOWER_ERRORS:
                     pass
     _LOWERED_CACHE[key] = lowered
     while len(_LOWERED_CACHE) > _LOWERED_CACHE_MAX:
+        _CACHE_COUNTS["evictions"] += 1
         _LOWERED_CACHE.popitem(last=False)
     return lowered
 
@@ -809,7 +839,7 @@ class FetchEngine:
         else:
             key = (
                 "evt",
-                id(event),
+                event.ordinal,
                 src,
                 rank,
                 tuple(env.get(n, 0) for n in outer_names),
@@ -826,6 +856,14 @@ class FetchEngine:
                 # snapshot the source slab as one block transfer
                 st = acc.stage_from(src)
                 self._remember(key, st)
+                if sim.tracer.enabled:
+                    sim.tracer.instant(
+                        "fetch.stage",
+                        cat="comm",
+                        array=name,
+                        src=src,
+                        staged=st is not None,
+                    )
             if st is not None:
                 if (
                     st.src == src
@@ -854,6 +892,15 @@ class FetchEngine:
         sim.clocks.charge_message_amortized(src, rank, 1, startup)
         if startup:
             sim.stats.messages += 1
+            if sim.tracer.enabled:
+                sim.tracer.instant(
+                    "msg.startup",
+                    cat="comm",
+                    src=src,
+                    dst=rank,
+                    stmt=sid,
+                    event=-1 if event is None else event.ordinal,
+                )
         sim.stats.record_fetch((sid, rid) if event is not None else None, 1)
         if sim.trace.enabled:
             sim.trace.record(

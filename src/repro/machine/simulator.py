@@ -39,6 +39,7 @@ from ..core.mapping_kinds import (
 from ..errors import SimulationError
 from ..ir.expr import AffineForm, ArrayElemRef, ScalarRef
 from ..ir.stmt import AssignStmt, IfStmt, LoopStmt, Stmt
+from ..obs import Metrics, NULL_TRACER, Tracer
 from .lowering import FastHooks, FastPath
 from .memory import NodeMemory, initialize_array, ownership_mask
 from .stats import Clocks, Trace, TrafficStats
@@ -117,8 +118,18 @@ class SPMDSimulator:
         trace_capacity: int = 0,
         fast_path: bool = True,
         slab_path: bool = True,
+        tracer: Tracer | None = None,
+        metrics: Metrics | None = None,
     ):
         self.compiled = compiled
+        #: structured tracing (repro.obs); the disabled NULL_TRACER by
+        #: default, so hot paths pay one attribute load and one branch.
+        #: Unlike the legacy ``trace`` ring, enabling it does NOT
+        #: disable the slab tier.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: metrics registry filled by :meth:`collect_metrics` at the end
+        #: of :meth:`run` (None: no collection)
+        self.metrics = metrics
         #: escape hatch: False runs the original tree-walking executor;
         #: the parity tests assert both paths agree bit-for-bit
         self.fast_path = fast_path
@@ -146,6 +157,17 @@ class SPMDSimulator:
             self._events[(e.stmt.stmt_id, e.ref.ref_id)] = e
             for absorbed in list(e.aliases) + list(e.combined_with):
                 self._events[(absorbed.stmt.stmt_id, absorbed.ref.ref_id)] = e
+        # Hand-built reports (tests, custom pipelines) may not have run
+        # CommAnalysis; give any unassigned event a deterministic
+        # ordinal from the report's own order so coalescing keys never
+        # fall back to object identity.
+        next_ordinal = (
+            max((e.ordinal for e in compiled.comm.events), default=-1) + 1
+        )
+        for e in compiled.comm.events:
+            if e.ordinal < 0:
+                e.ordinal = next_ordinal
+                next_ordinal += 1
         self._fetch_keys_seen: set = set()
         #: loop indices currently iterating (a position form referencing
         #: an inactive loop's index spans the whole dimension)
@@ -214,10 +236,23 @@ class SPMDSimulator:
             if self._fast is None:
                 self._fast = FastPath(self)
             hooks: ExecutionHooks = FastHooks(self._fast)
+            tier = "lowered+slab" if self.slab_path else "lowered"
         else:
             hooks = _SPMDHooks(self)
+            tier = "interpreted"
         walker = Walker(self.proc, hooks)
-        return walker.run()
+        with self.tracer.span(
+            f"simulate[{tier}]", cat="sim", procs=self.grid.size
+        ) as span:
+            result = walker.run()
+            span.add(
+                messages=self.stats.messages,
+                slab_instances=self.slab_instances,
+                interp_instances=self.interp_instances,
+            )
+        if self.metrics is not None:
+            self.collect_metrics(self.metrics)
+        return result
 
     # ==================================================================
     # Authoritative lookups
@@ -250,9 +285,10 @@ class SPMDSimulator:
         from ..comm.analysis import hoisted_loop_vars
 
         outer = tuple(env.get(name, 0) for name in hoisted_loop_vars(event, stmt))
-        # Keyed by the event's identity so transfers merged by message
-        # combining share one startup per placement instance.
-        return ("evt", id(event), src, dst, outer)
+        # Keyed by the event's stable ordinal so transfers merged by
+        # message combining share one startup per placement instance
+        # and charging is identical across runs and pickle round-trips.
+        return ("evt", event.ordinal, src, dst, outer)
 
     def _charge_fetch(self, event: CommEvent | None, stmt: Stmt, ref_id: int,
                       src: int, dst: int, env, elements: int = 1) -> None:
@@ -262,6 +298,15 @@ class SPMDSimulator:
         self.clocks.charge_message_amortized(src, dst, elements, startup)
         if startup:
             self.stats.messages += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "msg.startup",
+                    cat="comm",
+                    src=src,
+                    dst=dst,
+                    stmt=stmt.stmt_id,
+                    event=-1 if event is None else event.ordinal,
+                )
         self.stats.record_fetch(
             (stmt.stmt_id, ref_id) if event is not None else None, elements
         )
@@ -718,6 +763,66 @@ class SPMDSimulator:
         total = self.slab_instances + self.interp_instances
         return self.slab_instances / total if total else 0.0
 
+    def canonical_stats(self) -> dict:
+        """Clocks + traffic stats as a JSON payload whose keys are
+        stable across *compiles* of the same source: per-event fetch
+        counts are grouped on the stable event ordinal instead of the
+        process-global stmt/ref ids (which drift when one process
+        parses the program twice).  The CI determinism gate
+        byte-compares two of these."""
+        stats = self.stats.as_dict()
+        per_event: dict[str, int] = {}
+        for (sid, rid), count in sorted(self.stats.per_event_fetches.items()):
+            event = self._events.get((sid, rid))
+            key = "unplaced" if event is None else f"evt{event.ordinal:04d}"
+            per_event[key] = per_event.get(key, 0) + count
+        stats["per_event_fetches"] = dict(sorted(per_event.items()))
+        return {
+            "procs": self.grid.size,
+            "clocks": self.clocks.snapshot(),
+            "stats": stats,
+        }
+
+    def collect_metrics(self, metrics: Metrics | None = None) -> Metrics:
+        """Fill ``metrics`` from the run's accumulated state.
+
+        Batch collection, not hot-path recording: everything here is
+        derived from statistics the simulator keeps anyway (the
+        coalescing key set, ``TrafficStats``, the tier counters), so a
+        metrics-enabled run charges exactly like a plain one.
+        Idempotent — totals land in gauges and the per-event
+        distributions are rebuilt, so calling it twice (or after a
+        second ``run``) never double-counts.
+        """
+        m = metrics if metrics is not None else (self.metrics or Metrics())
+        m.gauge("sim.procs", self.grid.size)
+        m.gauge("sim.elapsed", self.elapsed)
+        m.gauge("sim.slab_instances", self.slab_instances)
+        m.gauge("sim.interp_instances", self.interp_instances)
+        m.gauge("sim.slab_coverage", round(self.slab_coverage, 6))
+        for name, value in self.stats.as_dict().items():
+            if isinstance(value, (int, float)):
+                m.gauge(f"sim.{name}", value)
+        # One physical message (one startup) per distinct coalescing
+        # key; group them by event ordinal for the per-placement-
+        # instance distribution.
+        per_event_messages: dict[int, int] = {}
+        for key in self._fetch_keys_seen:
+            if key[0] == "evt":
+                ordinal = key[1]
+                per_event_messages[ordinal] = (
+                    per_event_messages.get(ordinal, 0) + 1
+                )
+        m.histograms.pop("sim.messages_per_event", None)
+        for ordinal in sorted(per_event_messages):
+            m.observe("sim.messages_per_event", per_event_messages[ordinal])
+        m.histograms.pop("sim.elements_per_event", None)
+        for key in sorted(self.stats.per_event_fetches):
+            m.observe(
+                "sim.elements_per_event", self.stats.per_event_fetches[key]
+            )
+        return m
+
 
 def simulate(
     compiled: CompiledProgram,
@@ -726,6 +831,8 @@ def simulate(
     trace_capacity: int = 0,
     fast_path: bool = True,
     slab_path: bool = True,
+    tracer: Tracer | None = None,
+    metrics: Metrics | None = None,
 ) -> SPMDSimulator:
     sim = SPMDSimulator(
         compiled,
@@ -733,6 +840,8 @@ def simulate(
         trace_capacity=trace_capacity,
         fast_path=fast_path,
         slab_path=slab_path,
+        tracer=tracer,
+        metrics=metrics,
     )
     for name, values in (inputs or {}).items():
         sim.set_array(name, values)

@@ -966,7 +966,7 @@ class InnerPlan:
                 raise _Bail("fetch key varies per lane")
             key = (
                 "evt",
-                id(event),
+                event.ordinal,
                 src,
                 rank,
                 tuple(env.get(nm, 0) for nm in outer),
@@ -1548,16 +1548,32 @@ class SlabExecutor:
         self.report = report
         self._plans: dict[int, Any] = {}
 
+    def _record_bail(self, stmt: LoopStmt, reason: str) -> None:
+        sim = self.sim
+        if sim.metrics is not None:
+            sim.metrics.inc(f"slab.bail[{reason}]")
+            sim.metrics.inc(f"slab.fallback[loop=S{stmt.stmt_id}]")
+        if sim.tracer.enabled:
+            sim.tracer.instant(
+                "slab.bail", cat="sim", loop=stmt.stmt_id, reason=reason
+            )
+
     def _build(self, stmt: LoopStmt):
         sid = stmt.stmt_id
+        # Plan construction only reads the IR and the static reports;
+        # a bail means "this loop is tier 2", a numeric-domain error in
+        # a closed form means the same — anything else (NameError,
+        # TypeError, ...) is a genuine bug and must surface.
         try:
             if self.report.inner.get(sid) == "ok":
                 return InnerPlan(self, stmt)
             if self.report.column.get(sid) == "ok":
                 return ColumnPlan(self, stmt)
-        except _Bail:
+        except _Bail as bail:
+            self._record_bail(stmt, str(bail))
             return None
-        except Exception:
+        except (ArithmeticError, ValueError, OverflowError):
+            self._record_bail(stmt, "plan construction error")
             return None
         return None
 
@@ -1569,15 +1585,26 @@ class SlabExecutor:
             self._plans[stmt.stmt_id] = plan
         if plan is None:
             return False
-        # Phase A (prepare) mutates nothing: any bail or unexpected
-        # error falls back to tier 2, which replays the loop exactly.
+        # Phase A (prepare) mutates nothing: a bail or a numeric-domain
+        # error falls back to tier 2, which replays the loop exactly;
+        # genuine programming errors propagate.
         try:
             commit = plan.prepare(low, high, step, env)
-        except _Bail:
+        except _Bail as bail:
+            self._record_bail(stmt, str(bail))
             return False
-        except Exception:
+        except (ArithmeticError, ValueError, OverflowError):
+            self._record_bail(stmt, "prepare error")
             return False
         # Phase B (commit) is outside the net: a failure here would mean
         # corrupted state and must surface, not silently re-execute.
         commit()
+        sim = self.sim
+        if sim.metrics is not None:
+            sim.metrics.inc(f"slab.takeover[loop=S{stmt.stmt_id}]")
+        if sim.tracer.enabled:
+            sim.tracer.instant(
+                "slab.takeover", cat="sim", loop=stmt.stmt_id, low=low,
+                high=high, step=step,
+            )
         return True

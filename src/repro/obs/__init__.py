@@ -1,0 +1,26 @@
+"""repro.obs — structured tracing + metrics for the compiler and the
+simulator.
+
+Two small, dependency-free primitives:
+
+- :class:`Tracer` — span-based event collection with Chrome
+  ``trace_event`` JSON export (``chrome://tracing`` / Perfetto).  The
+  disabled tracer (:data:`NULL_TRACER`) is a near-zero-overhead no-op,
+  so every component can take a tracer unconditionally.
+- :class:`Metrics` — a registry of counters, gauges, and histogram
+  summaries with a flat, deterministically ordered JSON export.
+
+See the "Observability" section of ``docs/ARCHITECTURE.md`` for the
+span taxonomy and how to enable/export from the CLI and benchmarks.
+"""
+
+from .metrics import Histogram, Metrics
+from .tracer import NULL_TRACER, Tracer, validate_chrome_trace
+
+__all__ = [
+    "Histogram",
+    "Metrics",
+    "NULL_TRACER",
+    "Tracer",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,127 @@
+"""Metrics registry: counters, gauges, and streaming histograms.
+
+One :class:`Metrics` instance aggregates everything a run wants to
+report — tier coverage, slab bail reasons, per-event message/element
+counts, analysis/lowering cache hit rates — and serializes to a flat,
+deterministically ordered JSON document (``repro run --metrics``, the
+benchmark coverage/traffic columns, and the CI determinism gate all
+consume it).
+
+The registry is not a hot-path object: producers either record at
+coarse granularity (per pass, per takeover, per bail) or batch-fill it
+from already-collected statistics after a run (see
+``SPMDSimulator.collect_metrics``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of an observed distribution."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float | None = None
+    max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count if self.count else None,
+        }
+
+
+@dataclass
+class Metrics:
+    """Named counters (monotonic), gauges (last value wins), and
+    histograms (summaries of observed values)."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, Any] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: Any) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def merge(self, other: "Metrics") -> "Metrics":
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        self.gauges.update(other.gauges)
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.count += hist.count
+            mine.total += hist.total
+            for bound in ("min", "max"):
+                theirs = getattr(hist, bound)
+                ours = getattr(mine, bound)
+                if theirs is not None:
+                    pick = min if bound == "min" else max
+                    setattr(
+                        mine, bound,
+                        theirs if ours is None else pick(ours, theirs),
+                    )
+        return self
+
+    # -- export ------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """Deterministically ordered JSON-serializable snapshot."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: hist.as_dict()
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable dump (``repro run --metrics`` without a path)."""
+        lines: list[str] = []
+        for name, value in sorted(self.counters.items()):
+            lines.append(f"  {name} = {value:g}")
+        for name, value in sorted(self.gauges.items()):
+            shown = f"{value:g}" if isinstance(value, (int, float)) else value
+            lines.append(f"  {name} = {shown}")
+        for name, hist in sorted(self.histograms.items()):
+            d = hist.as_dict()
+            mean = d["mean"]
+            lines.append(
+                f"  {name} = n={d['count']} sum={d['sum']:g} "
+                f"min={d['min']:g} max={d['max']:g} "
+                f"mean={mean:.6g}" if d["count"] else f"  {name} = n=0"
+            )
+        return "\n".join(lines) if lines else "  (no metrics recorded)"
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")

@@ -152,3 +152,77 @@ class TestTraceFlag:
         out = capsys.readouterr().out
         assert "trace:" in out
         assert "fetch" in out
+
+
+class TestObsFlags:
+    def test_trace_path_writes_chrome_json(self, program_file, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        assert (
+            main(["run", program_file, "--procs", "4", "--trace", str(out_path)])
+            == 0
+        )
+        assert f"to {out_path}" in capsys.readouterr().out
+        chrome = json.loads(out_path.read_text())
+        assert validate_chrome_trace(chrome) == []
+        names = {e["name"] for e in chrome["traceEvents"]}
+        assert any(n.startswith("pass:") for n in names)
+        assert any(n.startswith("simulate[") for n in names)
+
+    def test_metrics_flag_prints_registry(self, program_file, capsys):
+        assert main(["run", program_file, "--procs", "4", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "sim.messages" in out
+        assert "compile.cache.misses" in out
+
+    def test_metrics_json(self, program_file, tmp_path):
+        import json
+
+        out_path = tmp_path / "metrics.json"
+        assert (
+            main(
+                ["run", program_file, "--procs", "4",
+                 "--metrics-json", str(out_path)]
+            )
+            == 0
+        )
+        loaded = json.loads(out_path.read_text())
+        assert "sim.messages" in loaded["gauges"]
+        assert "lowering.cache.size" in loaded["gauges"]
+
+    def test_stats_json_is_byte_identical_across_runs(
+        self, program_file, tmp_path, capsys
+    ):
+        first = tmp_path / "s1.json"
+        second = tmp_path / "s2.json"
+        assert (
+            main(["run", program_file, "--procs", "4",
+                  "--stats-json", str(first)]) == 0
+        )
+        assert (
+            main(["run", program_file, "--procs", "4",
+                  "--stats-json", str(second)]) == 0
+        )
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+        import json
+
+        payload = json.loads(first.read_text())
+        assert set(payload) == {"procs", "clocks", "stats"}
+
+    def test_estimate_does_not_mutate_namespace(self, program_file, capsys):
+        """The sweep builds fresh options per procs value; the argparse
+        namespace keeps the original list."""
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["estimate", program_file, "--procs", "1", "4"]
+        )
+        assert args.func(args) == 0
+        capsys.readouterr()
+        assert args.procs == [1, 4]
+        assert not hasattr(args, "procs_single")
