@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""CI sweep + compile-cache gate.
+
+Runs the small paper-table grid (TOMCATV and DGEFA at reduced sizes,
+across processor counts and scalar-mapping strategies) through
+``repro.sweep.run_sweep`` on a two-worker pool, twice against each of
+two fresh persistent cache roots:
+
+* **timing grid** (compile mode): the cold pass compiles every point
+  through the full pass pipeline and persists it; the warm pass must
+  serve every point from the disk cache and finish at least
+  ``--min-speedup`` (default 2.0) times faster.  Compile mode isolates
+  what the cache can actually accelerate — simulation time is paid
+  identically cold and warm and would only dilute the signal.
+* **stats grid** (simulate mode): cold-vs-warm per-point
+  ``canonical_stats`` payloads are byte-compared — a revived pickle
+  must drive the simulator to exactly the clocks and traffic a fresh
+  compile does, or the cache is lying.
+
+With ``--inject-crash``, the first timing-grid point's pool worker is
+killed mid-flight (``os._exit``) on its first attempt — the supervisor
+must retry it without losing the point, proving the engine's recovery
+path in CI rather than only in unit tests.
+
+Writes a JSON artifact (``--stats-out``) with the timings, the
+speedup, and the disk caches' footprint + per-pass hit counts.
+
+Usage::
+
+    python benchmarks/sweep_gate.py [--workers 2] [--min-speedup 2.0]
+                                    [--cache-dir DIR] [--stats-out F]
+                                    [--inject-crash] [--verbose]
+
+Exits 0 when every gate holds, 1 otherwise.
+"""
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC_DIR = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC_DIR))
+
+from repro.core.diskcache import CompileCache  # noqa: E402
+from repro.programs import dgefa_source, tomcatv_source  # noqa: E402
+from repro.sweep import SweepSpec, run_sweep  # noqa: E402
+
+
+def build_jobs(procs, strategies, mode, inject_crash=False):
+    spec = SweepSpec(
+        programs={
+            "tomcatv": lambda p: tomcatv_source(n=8, niter=1, procs=p),
+            "dgefa": lambda p: dgefa_source(n=8, procs=p),
+        },
+        procs=tuple(procs),
+        axes={"strategy": tuple(strategies)},
+        mode=mode,
+    )
+    jobs = spec.jobs()
+    if inject_crash:
+        jobs[0] = dataclasses.replace(jobs[0], inject={"crash_attempts": 1})
+    return jobs
+
+
+def run_pass(jobs, workers, cache_root):
+    cache = CompileCache(cache_root)
+    started = time.perf_counter()
+    results = run_sweep(
+        jobs, workers=workers, cache=cache, timeout=120, retries=2,
+        backoff=0.05,
+    )
+    elapsed = time.perf_counter() - started
+    return results, elapsed, cache
+
+
+def check_pass_pair(name, jobs, cold, warm, failures):
+    """Shared cold/warm invariants: nothing lost, nothing failed, cold
+    all-miss, warm all-hit."""
+    for tag, results in (("cold", cold), ("warm", warm)):
+        if len(results) != len(jobs):
+            failures.append(f"{name} {tag}: grid points were lost")
+        bad = [r for r in results if not r.ok]
+        if bad:
+            failures.append(f"{name} {tag}: {len(bad)} failed grid "
+                            f"point(s), first: {bad[0].error}")
+    cold_hits = [r.label for r in cold if r.cache_hit]
+    if cold_hits:
+        failures.append(f"{name}: cold pass had cache hits: {cold_hits[:3]}")
+    warm_misses = [r.label for r in warm if not r.cache_hit]
+    if warm_misses:
+        failures.append(f"{name}: warm pass had cache misses: "
+                        f"{warm_misses[:3]}")
+
+
+def stats_payload(results) -> bytes:
+    """The deterministic record the stats grid is byte-compared on."""
+    return json.dumps(
+        [{"label": r.label, "stats": r.canonical_stats} for r in results],
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--procs", type=int, nargs="+", default=[1, 2, 4, 8])
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--stats-out", default=None)
+    parser.add_argument("--inject-crash", action="store_true")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args()
+
+    base_root = pathlib.Path(
+        args.cache_dir or tempfile.mkdtemp(prefix="repro-sweep-gate-")
+    )
+    if base_root.exists():
+        shutil.rmtree(base_root)
+    failures = []
+
+    # -- timing grid: compile mode, warm must be >= min-speedup faster --
+    timing_jobs = build_jobs(
+        args.procs, ("selected", "consumer", "producer"), "compile",
+        inject_crash=args.inject_crash,
+    )
+    print(f"timing grid: {len(timing_jobs)} compile-mode points, "
+          f"{args.workers} workers")
+    cold, t_cold, _ = run_pass(timing_jobs, args.workers, base_root / "timing")
+    warm, t_warm, timing_cache = run_pass(
+        timing_jobs, args.workers, base_root / "timing"
+    )
+    check_pass_pair("timing", timing_jobs, cold, warm, failures)
+
+    speedup = t_cold / t_warm if t_warm > 0 else float("inf")
+    print(f"cold {t_cold:.3f}s, warm {t_warm:.3f}s -> speedup "
+          f"{speedup:.2f}x (gate: >= {args.min_speedup:.1f}x)")
+    if speedup < args.min_speedup:
+        failures.append(f"warm sweep only {speedup:.2f}x faster "
+                        f"(need >= {args.min_speedup:.1f}x)")
+
+    if args.inject_crash and not failures:
+        crashed = cold[0]
+        if crashed.attempts < 2:
+            failures.append("injected crash was not retried "
+                            f"(attempts={crashed.attempts})")
+        else:
+            print(f"injected crash recovered: {crashed.label} ok after "
+                  f"{crashed.attempts} attempts on {crashed.worker}")
+
+    # -- stats grid: simulate mode, canonical stats byte-identical -----
+    stats_jobs = build_jobs((2, 4), ("selected", "consumer"), "simulate")
+    print(f"stats grid: {len(stats_jobs)} simulate-mode points")
+    s_cold, _, _ = run_pass(stats_jobs, args.workers, base_root / "stats")
+    s_warm, _, stats_cache = run_pass(
+        stats_jobs, args.workers, base_root / "stats"
+    )
+    check_pass_pair("stats", stats_jobs, s_cold, s_warm, failures)
+    if stats_payload(s_cold) != stats_payload(s_warm):
+        failures.append("canonical stats differ between cold and warm passes")
+    else:
+        print(f"canonical stats byte-identical across "
+              f"{len(stats_jobs)} points")
+
+    if args.verbose:
+        for r in warm + s_warm:
+            print(f"  {r.label:45s} {r.mode:8s} hit={r.cache_hit} "
+                  f"worker={r.worker} {r.duration_s * 1e3:7.1f} ms")
+
+    artifact = {
+        "timing_jobs": len(timing_jobs),
+        "stats_jobs": len(stats_jobs),
+        "workers": args.workers,
+        "cold_seconds": t_cold,
+        "warm_seconds": t_warm,
+        "speedup": t_cold / t_warm if t_warm > 0 else None,
+        "min_speedup": args.min_speedup,
+        "inject_crash": args.inject_crash,
+        # hit counts come from the result records: pool workers hold
+        # their own CompileCache handles, so parent-side session
+        # counters would read zero under a multi-worker sweep
+        "timing_warm_hits": sum(r.cache_hit for r in warm),
+        "stats_warm_hits": sum(r.cache_hit for r in s_warm),
+        "timing_cache": timing_cache.stats_dict(),
+        "stats_cache": stats_cache.stats_dict(),
+        "failures": failures,
+    }
+    if args.stats_out:
+        out = pathlib.Path(args.stats_out)
+        out.write_text(json.dumps(artifact, indent=1, sort_keys=True) + "\n")
+        print(f"wrote cache stats artifact to {out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("sweep gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

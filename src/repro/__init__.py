@@ -9,18 +9,22 @@ vectorization, a simulated IBM SP2-class distributed-memory machine,
 and the benchmark programs of the paper's evaluation (TOMCATV, DGEFA,
 APPSP).
 
-Quickstart::
+Quickstart — the supported surface is the :class:`Session` facade::
 
-    from repro import compile_source, CompilerOptions, PerfEstimator
+    from repro import Session, SweepSpec
 
-    compiled = compile_source(source_text, CompilerOptions(num_procs=16))
+    session = Session(num_procs=16, cache=True)
+    compiled = session.compile(source_text)
     print(compiled.report())
-    print(PerfEstimator(compiled).estimate().summary())
+    print(session.estimate(compiled).summary())
+    results = session.sweep(SweepSpec(programs={"prog": source_text},
+                                      procs=(4, 16)))
 
 See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
 regeneration of the paper's tables.
 """
 
+from .api import RunResult, Session
 from .codegen import SequentialInterpreter, print_spmd, run_sequential
 from .comm import SP2, MachineModel
 from .core import (
@@ -29,6 +33,7 @@ from .core import (
     AnalysisContext,
     ArrayPrivatization,
     BatchJob,
+    CompileCache,
     CompiledProgram,
     CompilerOptions,
     FullyReplicatedReduction,
@@ -49,10 +54,18 @@ from .machine import SPMDSimulator, simulate
 from .mapping import ProcessorGrid
 from .perf import PerfEstimator, estimate_performance
 from .report import all_tables, table1_tomcatv, table2_dgefa, table3_appsp
+from .sweep import SweepJob, SweepResult, SweepSpec, run_sweep
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "RunResult",
+    "Session",
+    "SweepJob",
+    "SweepResult",
+    "SweepSpec",
+    "run_sweep",
+    "CompileCache",
     "SequentialInterpreter",
     "print_spmd",
     "run_sequential",

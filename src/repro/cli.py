@@ -7,12 +7,19 @@ Usage (also via ``python -m repro``)::
     repro run PROGRAM.hpf [--procs 4] [--seed 0] [--trace out.json]
               [--metrics] [--metrics-json m.json] [--stats-json s.json]
     repro tables [--table 1 2 3] [--fast]
+    repro cache stats|clear [--cache-dir DIR]
 
 ``compile`` prints the mapping report (and optionally the SPMD
 pseudo-code); ``estimate`` sweeps processor counts with the analytic
 SP2-class model; ``run`` executes the program on the simulated machine
 with random inputs and cross-checks the sequential interpreter;
-``tables`` regenerates the paper's evaluation tables.
+``tables`` regenerates the paper's evaluation tables; ``cache``
+manages the persistent compile cache (opt in per command with
+``--disk-cache`` or ``--cache-dir DIR``).
+
+Every subcommand is a thin shell over :class:`repro.api.Session` —
+the CLI parses flags into session configuration and formats what the
+facade returns.
 """
 
 from __future__ import annotations
@@ -20,19 +27,18 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .codegen.seq import run_sequential
+from .api import Session
 from .codegen.spmd import print_spmd
-from .core.driver import CompilerOptions, compile_source
+from .core.driver import CompilerOptions
 from .core.scalar_mapping import STRATEGIES
-from .ir.build import parse_and_build
-from .perf.estimator import PerfEstimator
+from .sweep import SweepSpec
 
 
 def _compiler_options(args, num_procs: int | None = None) -> CompilerOptions:
     """Fresh options from the parsed flags; ``num_procs`` is explicit so
     sweeps build one options object per processor count instead of
     mutating the shared argparse namespace."""
-    return CompilerOptions(
+    return CompilerOptions.from_overrides(
         strategy=args.strategy,
         align_reductions=not args.no_reduction_alignment,
         privatize_arrays=not args.no_array_privatization,
@@ -42,6 +48,24 @@ def _compiler_options(args, num_procs: int | None = None) -> CompilerOptions:
         combine_messages=args.combine_messages,
         auto_privatize_arrays=args.auto_privatize_arrays,
         num_procs=num_procs,
+    )
+
+
+def _cache_arg(args):
+    """The persistent compile cache is strictly opt-in on the CLI:
+    ``--cache-dir DIR`` roots it at DIR, ``--disk-cache`` at the
+    default root; otherwise disabled."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        return cache_dir
+    return True if getattr(args, "disk_cache", False) else None
+
+
+def _session(args, num_procs: int | None = None, **kwargs) -> Session:
+    return Session(
+        _compiler_options(args, num_procs=num_procs),
+        cache=_cache_arg(args),
+        **kwargs,
     )
 
 
@@ -73,6 +97,23 @@ def _add_compile_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the per-pass pipeline timings table",
     )
+    _add_cache_flags(parser)
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--disk-cache",
+        action="store_true",
+        help="reuse compiles via the persistent cache at its default "
+        "root (~/.cache/repro or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="root the persistent compile cache at DIR (implies "
+        "--disk-cache)",
+    )
 
 
 def _read_source(path: str) -> str:
@@ -84,9 +125,7 @@ def _read_source(path: str) -> str:
 
 def cmd_compile(args) -> int:
     source = _read_source(args.program)
-    compiled = compile_source(
-        source, _compiler_options(args, num_procs=args.procs)
-    )
+    compiled = _session(args, num_procs=args.procs).compile(source)
     print(compiled.report())
     if getattr(args, "timings", False):
         print()
@@ -106,10 +145,7 @@ def cmd_compile(args) -> int:
 
 def cmd_profile(args) -> int:
     source = _read_source(args.program)
-    compiled = compile_source(
-        source, _compiler_options(args, num_procs=args.procs)
-    )
-    estimate = PerfEstimator(compiled).estimate()
+    estimate = _session(args, num_procs=args.procs).estimate(source)
     print(estimate.summary())
     print()
     print(f"top {args.top} statements by compute time:")
@@ -127,28 +163,37 @@ def cmd_profile(args) -> int:
 
 
 def cmd_estimate(args) -> int:
-    from .core.passes import PassManager
+    import os
 
     source = _read_source(args.program)
-    # One manager for the whole sweep: every procs value gets a fresh
-    # CompilerOptions (the namespace is never mutated), so the cached
-    # front-end analyses and --timings see consistent option closures.
-    manager = PassManager()
+    # One session for the whole sweep: its shared pass manager means
+    # every procs value reuses the cached front-end analyses, and
+    # --timings sees consistent option closures.
+    session = _session(args)
+    name = os.path.basename(args.program) if args.program != "-" else "stdin"
+    spec = SweepSpec(
+        programs={name: source},
+        procs=tuple(args.procs),
+        base=session.options,
+        mode="estimate",
+    )
     print(f"{'P':>6} {'total':>12} {'compute':>12} {'comm':>12}")
-    for procs in args.procs:
-        compiled = compile_source(
-            source, _compiler_options(args, num_procs=procs), manager=manager
-        )
-        estimate = PerfEstimator(compiled).estimate()
+    failed = False
+    for result in session.sweep(spec, workers=0):
+        if not result.ok:
+            failed = True
+            print(f"{result.procs:>6} failed: {result.error.strip().splitlines()[-1]}",
+                  file=sys.stderr)
+            continue
         print(
-            f"{procs:>6} {estimate.total_time:>11.4f}s "
-            f"{estimate.compute_time:>11.4f}s {estimate.comm_time:>11.4f}s"
+            f"{result.procs:>6} {result.total_time:>11.4f}s "
+            f"{result.compute_time:>11.4f}s {result.comm_time:>11.4f}s"
         )
     if getattr(args, "timings", False):
         print()
         print("pipeline timings (whole sweep):")
-        print(manager.metrics.render())
-    return 0
+        print(session.manager.metrics.render())
+    return 1 if failed else 0
 
 
 def _trace_arg(value: str):
@@ -163,9 +208,6 @@ def _trace_arg(value: str):
 def cmd_run(args) -> int:
     import json
 
-    import numpy as np
-
-    from .machine.simulator import simulate
     from .obs import Metrics, Tracer
 
     source = _read_source(args.program)
@@ -179,58 +221,28 @@ def cmd_run(args) -> int:
     tracer = Tracer() if trace_path else None
     metrics = Metrics() if want_metrics else None
 
-    if tracer is not None or metrics is not None:
-        from .core.passes import PassManager
-
-        manager = PassManager(tracer=tracer)
-        compiled = compile_source(
-            source, _compiler_options(args, num_procs=args.procs),
-            manager=manager,
-        )
-    else:
-        manager = None
-        compiled = compile_source(
-            source, _compiler_options(args, num_procs=args.procs)
-        )
-
-    rng = np.random.default_rng(args.seed)
-    proc = parse_and_build(source)
-    inputs = {}
-    for symbol in proc.symbols.arrays():
-        shape = tuple(symbol.extent(d) for d in range(symbol.rank))
-        inputs[symbol.name] = rng.uniform(0.5, 1.5, shape)
-
-    sequential = run_sequential(proc, inputs)
-    sim = simulate(
-        compiled,
-        inputs,
-        trace_capacity=ring_capacity,
-        tracer=tracer,
-        metrics=metrics,
+    session = _session(
+        args, num_procs=args.procs, tracer=tracer, metrics=metrics
     )
-    all_match = True
-    for symbol in compiled.proc.symbols.arrays():
-        match = bool(
-            np.allclose(sim.gather(symbol.name), sequential.get_array(symbol.name))
-        )
-        all_match &= match
-        print(f"  {symbol.name:8s} matches sequential: {match}")
+    result = session.run(source, seed=args.seed, trace_capacity=ring_capacity)
+
+    for name, match in result.matches.items():
+        print(f"  {name:8s} matches sequential: {match}")
     print(
-        f"virtual time {sim.elapsed * 1e3:.3f} ms on {compiled.grid.size} "
-        f"processors; {sim.stats.messages} messages, "
-        f"{sim.stats.fetches} fetches "
-        f"({sim.stats.unexpected_fetches} unexpected)"
+        f"virtual time {result.elapsed * 1e3:.3f} ms on "
+        f"{result.compiled.grid.size} processors; "
+        f"{result.messages} messages, {result.fetches} fetches "
+        f"({result.unexpected_fetches} unexpected)"
     )
     if ring_capacity:
         print()
         print("trace:")
-        print(sim.trace.render())
+        print(result.sim.trace.render())
     if tracer is not None:
         tracer.write(trace_path)
         print(f"wrote {len(tracer)} trace event(s) to {trace_path}")
     if metrics is not None:
-        if manager is not None:
-            manager.collect_metrics(metrics)
+        session.collect_metrics(metrics)
         metrics_path = getattr(args, "metrics_json", None)
         if metrics_path:
             metrics.write(metrics_path)
@@ -242,18 +254,19 @@ def cmd_run(args) -> int:
     stats_path = getattr(args, "stats_json", None)
     if stats_path:
         with open(stats_path, "w", encoding="utf-8") as handle:
-            json.dump(sim.canonical_stats(), handle, indent=1, sort_keys=True)
+            json.dump(result.canonical_stats(), handle, indent=1, sort_keys=True)
             handle.write("\n")
-    return 0 if all_match and sim.stats.unexpected_fetches == 0 else 1
+    return 0 if result.ok else 1
 
 
 def cmd_tables(args) -> int:
-    from .core.passes import PassManager
     from .report.tables import table1_tomcatv, table2_dgefa, table3_appsp
 
-    # One manager for every table: front-end analyses are shared across
-    # the compiler variants of each cell row.
-    manager = PassManager()
+    # One session for every table: its manager is shared across the
+    # compiler variants of each cell row, so front-end analyses are
+    # computed once per (program, procs).
+    session = Session()
+    manager = session.manager
     builders = {
         1: (lambda: table1_tomcatv(n=129, niter=3, procs=(1, 4, 16), manager=manager))
         if args.fast
@@ -270,7 +283,24 @@ def cmd_tables(args) -> int:
         print()
     if getattr(args, "timings", False):
         print("pipeline timings (all tables):")
-        print(manager.metrics.render())
+        print(session.manager.metrics.render())
+    return 0
+
+
+def cmd_cache(args) -> int:
+    import json
+
+    from .core.diskcache import CompileCache
+
+    cache = CompileCache(getattr(args, "cache_dir", None))
+    if args.action == "stats":
+        stats = cache.stats_dict()
+        del stats["session"]  # a fresh process has no activity yet
+        print(json.dumps(stats, indent=1, sort_keys=True))
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.root}")
     return 0
 
 
@@ -333,6 +363,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(the CI determinism gate diffs two of these)",
     )
     p_run.set_defaults(func=cmd_run)
+
+    p_cache = sub.add_parser(
+        "cache", help="manage the persistent compile cache"
+    )
+    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="cache root (default: ~/.cache/repro or $REPRO_CACHE_DIR)",
+    )
+    p_cache.set_defaults(func=cmd_cache)
 
     p_tables = sub.add_parser("tables", help="regenerate the paper's tables")
     p_tables.add_argument("--table", type=int, nargs="+", default=[1, 2, 3],

@@ -27,8 +27,8 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from ..model import SP2, MachineModel
 from ..ir.program import Procedure
@@ -81,6 +81,41 @@ class CompilerOptions:
                 f"num_procs must be a positive processor count, "
                 f"got {self.num_procs!r}"
             )
+
+    @classmethod
+    def from_overrides(
+        cls, base: "CompilerOptions | None" = None, **overrides: Any
+    ) -> "CompilerOptions":
+        """The one construction site for option variants: start from
+        ``base`` (or the defaults), apply ``overrides``, and validate.
+        The CLI flag parser, the estimator's per-procs sweep, the table
+        variants, and :class:`repro.sweep.SweepSpec` axes all build
+        their options here, so an unknown knob fails the same way
+        everywhere."""
+        valid = {f.name for f in fields(cls)}
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown CompilerOptions field(s) {unknown}; "
+                f"valid fields: {sorted(valid)}"
+            )
+        values = (
+            {f.name: getattr(base, f.name) for f in fields(cls)}
+            if base is not None
+            else {}
+        )
+        values.update(overrides)
+        return cls(**values)
+
+    def overrides_from_defaults(self) -> dict[str, Any]:
+        """The fields where this options object differs from the
+        defaults — the human-readable part of a sweep label."""
+        defaults = CompilerOptions()
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if getattr(self, f.name) != getattr(defaults, f.name)
+        }
 
 
 @dataclass
@@ -216,27 +251,107 @@ class BatchJob:
     label: str | None = None
 
 
+_JOB_FIELDS = ("source", "options", "label")
+
+
 def _as_job(job) -> BatchJob:
     if isinstance(job, BatchJob):
         return job
     if isinstance(job, str):
         return BatchJob(source=job)
-    source, options = job
+    if isinstance(job, Mapping):
+        unknown = sorted(set(job) - set(_JOB_FIELDS))
+        if unknown:
+            raise TypeError(
+                f"batch job mapping has unknown field(s) {unknown}; "
+                f"expected 'source' (required) plus optional "
+                f"'options', 'label'"
+            )
+        if "source" not in job:
+            raise TypeError(
+                "batch job mapping is missing the required 'source' field"
+            )
+        source = job["source"]
+        options = job.get("options")
+        if options is None:
+            options = CompilerOptions()
+        elif isinstance(options, Mapping):
+            options = CompilerOptions.from_overrides(**options)
+        elif not isinstance(options, CompilerOptions):
+            raise TypeError(
+                f"batch job field 'options' must be a CompilerOptions or a "
+                f"mapping of overrides, got {type(options).__name__}"
+            )
+    elif isinstance(job, (tuple, list)):
+        if len(job) != 2:
+            raise TypeError(
+                f"batch job sequence must be (source, options), "
+                f"got {len(job)} element(s)"
+            )
+        source, options = job
+        if not isinstance(options, CompilerOptions):
+            raise TypeError(
+                f"batch job field 'options' must be a CompilerOptions, "
+                f"got {type(options).__name__}"
+            )
+    else:
+        raise TypeError(
+            f"cannot interpret {type(job).__name__} as a batch job; pass a "
+            f"BatchJob, a source string, a (source, options) pair, or a "
+            f"mapping with fields {_JOB_FIELDS}"
+        )
+    if not isinstance(source, str):
+        raise TypeError(
+            f"batch job field 'source' must be program text (str), "
+            f"got {type(source).__name__}"
+        )
+    if isinstance(job, Mapping):
+        return BatchJob(source=source, options=options, label=job.get("label"))
     return BatchJob(source=source, options=options)
 
 
-def _compile_group(source: str, options_list: list[CompilerOptions]):
+def _compile_one_cached(
+    source: str,
+    options: CompilerOptions,
+    manager: PassManager,
+    cache,
+) -> CompiledProgram:
+    """One compile through the optional persistent cache: a warm entry
+    skips the whole pass pipeline."""
+    if cache is None:
+        return compile_source(source, options, manager=manager)
+    compiled, _hit = cache.get_or_compile(
+        source,
+        options,
+        lambda: compile_source(source, options, manager=manager),
+        pipeline=manager.pipeline,
+    )
+    return compiled
+
+
+def _compile_group(
+    source: str,
+    options_list: list[CompilerOptions],
+    cache_root: str | None = None,
+):
     """Pool worker: all ablations of one source share one manager, so
-    the parsed IR and every front-end analysis are computed once."""
+    the parsed IR and every front-end analysis are computed once; a
+    persistent cache root additionally short-circuits whole compiles."""
+    from .diskcache import CompileCache
+
     manager = PassManager()
-    return [compile_source(source, o, manager=manager) for o in options_list]
+    cache = CompileCache(cache_root) if cache_root else None
+    return [
+        _compile_one_cached(source, o, manager, cache) for o in options_list
+    ]
 
 
 def compile_many(
-    jobs: Iterable[BatchJob | tuple[str, CompilerOptions] | str],
+    jobs: Iterable[BatchJob | tuple[str, CompilerOptions] | Mapping | str],
     *,
     processes: int | None = None,
     manager: PassManager | None = None,
+    cache=None,
 ) -> list[CompiledProgram]:
     """Compile a batch of (source, options) jobs, returning one
     :class:`CompiledProgram` per job in input order.
@@ -248,12 +363,21 @@ def compile_many(
     CPU-bound work) sized ``min(processes or cpu_count, group count)``;
     with a single group or a single CPU everything runs in-process,
     where an explicit ``manager`` can also carry its cache in and out.
+
+    ``cache`` enables the persistent compile cache
+    (:mod:`repro.core.diskcache`): pass a :class:`CompileCache`, a
+    cache-root path, or True for the default root. Warm entries skip
+    the pass pipeline entirely, in both the serial and the pooled
+    paths.
     """
+    from .diskcache import as_compile_cache
+
     batch: list[BatchJob] = [_as_job(j) for j in jobs]
     groups: dict[str, list[int]] = {}
     for index, job in enumerate(batch):
         groups.setdefault(job.source, []).append(index)
 
+    disk_cache = as_compile_cache(cache)
     results: list[CompiledProgram | None] = [None] * len(batch)
     if processes is None:
         processes = os.cpu_count() or 1
@@ -263,14 +387,18 @@ def compile_many(
         shared = manager or PassManager()
         for source, indices in groups.items():
             for index in indices:
-                results[index] = compile_source(
-                    source, batch[index].options, manager=shared
+                results[index] = _compile_one_cached(
+                    source, batch[index].options, shared, disk_cache
                 )
     else:
+        cache_root = str(disk_cache.root) if disk_cache is not None else None
         with ProcessPoolExecutor(max_workers=processes) as pool:
             futures = {
                 pool.submit(
-                    _compile_group, source, [batch[i].options for i in indices]
+                    _compile_group,
+                    source,
+                    [batch[i].options for i in indices],
+                    cache_root,
                 ): indices
                 for source, indices in groups.items()
             }

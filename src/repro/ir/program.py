@@ -19,6 +19,11 @@ from .stmt import (
 )
 from .symbols import Symbol, SymbolTable
 
+#: process-local source of Procedure.uid values; also consulted when a
+#: pickled procedure is revived so imported uids never collide with
+#: locally created ones
+_UID_COUNTER = itertools.count(1)
+
 
 @dataclass
 class AlignSpec:
@@ -66,7 +71,7 @@ class Procedure:
     #: process-unique identity, part of the analysis-cache fingerprint
     #: (ids of garbage-collected procedures can be reused; this cannot)
     uid: int = field(
-        default_factory=itertools.count(1).__next__, repr=False, compare=False
+        default_factory=_UID_COUNTER.__next__, repr=False, compare=False
     )
     #: bumped by every finalize(); cached analyses keyed on an older
     #: epoch are stale, since finalize() must follow any tree change
@@ -76,6 +81,20 @@ class Procedure:
     _stmts_by_id: dict[int, Stmt] = field(default_factory=dict, repr=False)
     _stmts_by_label: dict[int, Stmt] = field(default_factory=dict, repr=False)
     _ref_to_stmt: dict[int, Stmt] = field(default_factory=dict, repr=False)
+
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return dict(self.__dict__)
+
+    def __setstate__(self, state: dict) -> None:
+        # A pickled uid is only unique in the *originating* process.  A
+        # procedure revived here (process pool result, persistent
+        # compile cache) must not alias a locally created one in any
+        # uid-keyed cache (lowering LRU, analysis cache), so it gets a
+        # fresh local identity.
+        self.__dict__.update(state)
+        self.uid = next(_UID_COUNTER)
 
     # -- structure ------------------------------------------------------------
 

@@ -362,9 +362,38 @@ class LoweredIR:
     sources: dict[str, str] = field(default_factory=dict)
 
     def __reduce__(self):
-        # closures don't pickle (compile_many ships CompiledPrograms
-        # across a process pool); re-lower from the IR on arrival
-        return (lower_procedure, (self.proc,))
+        # closures don't pickle (CompiledPrograms travel across the
+        # compile pool and the persistent disk cache); ship a lazy
+        # stand-in that re-lowers only if statements actually execute
+        return (_LazyLowered, (self.proc,))
+
+
+class _LazyLowered:
+    """Unpickled stand-in for a :class:`LoweredIR`.
+
+    Re-lowering eagerly on arrival costs ~10ms of ``builtins.compile``
+    calls — paid even by consumers (compile-mode sweeps, report
+    printing) that never execute a statement. Defer to first touch;
+    :class:`FastPath` forces once so statement execution never goes
+    through ``__getattr__``."""
+
+    __slots__ = ("_proc", "_real")
+
+    def __init__(self, proc):
+        self._proc = proc
+        self._real = None
+
+    def force(self) -> "LoweredIR":
+        if self._real is None:
+            self._real = lower_procedure(self._proc)
+        return self._real
+
+    def __getattr__(self, name):
+        # only reached for LoweredIR attributes (slots resolve first)
+        return getattr(self.force(), name)
+
+    def __reduce__(self):
+        return (_LazyLowered, (self._proc,))
 
 
 #: (proc.uid, proc.ir_epoch) -> LoweredIR; bounded so long-running
@@ -980,6 +1009,8 @@ class FastPath:
     def __init__(self, sim):
         self.sim = sim
         lowered = getattr(sim.compiled, "lowering", None)
+        if isinstance(lowered, _LazyLowered):
+            lowered = lowered.force()
         if lowered is None or lowered.ir_epoch != sim.proc.ir_epoch:
             lowered = lower_procedure(sim.proc)
         self.lowered = lowered

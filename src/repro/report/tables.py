@@ -8,13 +8,14 @@ returns a :class:`Table` whose rows mirror the paper's layout
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from ..comm.costmodel import MachineModel
 from ..core.driver import CompilerOptions, compile_source
 from ..core.passes import PassManager
-from ..perf.estimator import PerfEstimator
 from ..programs import appsp_source, dgefa_source, tomcatv_source
+from ..sweep import SweepJob, run_sweep
 
 
 @dataclass
@@ -44,15 +45,42 @@ class Table:
         return "\n".join(lines)
 
 
-def _measure(
+def _job(
+    program: str,
     source: str,
-    options: CompilerOptions,
+    procs: int,
     machine: MachineModel | None,
-    manager: PassManager | None = None,
-) -> float:
-    compiled = compile_source(source, options, manager=manager)
-    estimator = PerfEstimator(compiled, machine)
-    return estimator.estimate().total_time
+    **overrides,
+) -> SweepJob:
+    """One estimate-mode grid point.  A custom machine folds into the
+    options closure: the pass pipeline never reads it, and the
+    estimator prices with ``options.machine``, so the numbers are
+    identical to pricing separately — while cache keys stay honest."""
+    if machine is not None:
+        overrides["machine"] = machine
+    return SweepJob(
+        program=program,
+        source=source,
+        procs=procs,
+        options=CompilerOptions.from_overrides(**overrides),
+        mode="estimate",
+    )
+
+
+def _measure_rows(
+    jobs: list[SweepJob], columns: int, manager: PassManager | None
+) -> list[list[float]]:
+    """Run the table's grid through the sweep engine (serially, on the
+    shared manager) and fold the results back into rows."""
+    results = run_sweep(jobs, workers=0, manager=manager)
+    times: list[float] = []
+    for result in results:
+        if not result.ok:
+            raise RuntimeError(
+                f"table grid point {result.label} failed:\n{result.error}"
+            )
+        times.append(result.total_time)
+    return [times[i : i + columns] for i in range(0, len(times), columns)]
 
 
 def table1_tomcatv(
@@ -75,14 +103,14 @@ def table1_tomcatv(
         ),
     )
     manager = manager or PassManager()
+    jobs = []
     for p in procs:
         src = tomcatv_source(n=n, niter=niter, procs=p)
-        row = [
-            _measure(src, CompilerOptions(strategy="replication"), machine, manager),
-            _measure(src, CompilerOptions(strategy="producer"), machine, manager),
-            _measure(src, CompilerOptions(strategy="selected"), machine, manager),
+        jobs += [
+            _job("tomcatv", src, p, machine, strategy=strategy)
+            for strategy in ("replication", "producer", "selected")
         ]
-        table.rows.append((p, row))
+    table.rows = list(zip(procs, _measure_rows(jobs, 3, manager)))
     return table
 
 
@@ -105,13 +133,14 @@ def table2_dgefa(
         ),
     )
     manager = manager or PassManager()
+    jobs = []
     for p in procs:
         src = dgefa_source(n=n, procs=p)
-        row = [
-            _measure(src, CompilerOptions(align_reductions=False), machine, manager),
-            _measure(src, CompilerOptions(align_reductions=True), machine, manager),
+        jobs += [
+            _job("dgefa", src, p, machine, align_reductions=False),
+            _job("dgefa", src, p, machine, align_reductions=True),
         ]
-        table.rows.append((p, row))
+    table.rows = list(zip(procs, _measure_rows(jobs, 2, manager)))
     return table
 
 
@@ -141,22 +170,40 @@ def table3_appsp(
         ),
     )
     manager = manager or PassManager()
+    jobs = []
     for p in procs:
         src_1d = appsp_source(nx=n, ny=n, nz=n, niter=niter, procs=p, distribution="1d")
         src_2d = appsp_source(nx=n, ny=n, nz=n, niter=niter, procs=p, distribution="2d")
-        row = [
-            _measure(src_1d, CompilerOptions(privatize_arrays=False), machine, manager),
-            _measure(src_1d, CompilerOptions(), machine, manager),
-            _measure(src_2d, CompilerOptions(partial_privatization=False), machine, manager),
-            _measure(src_2d, CompilerOptions(), machine, manager),
+        jobs += [
+            _job("appsp-1d", src_1d, p, machine, privatize_arrays=False),
+            _job("appsp-1d", src_1d, p, machine),
+            _job("appsp-2d", src_2d, p, machine, partial_privatization=False),
+            _job("appsp-2d", src_2d, p, machine),
         ]
-        table.rows.append((p, row))
+    table.rows = list(zip(procs, _measure_rows(jobs, 4, manager)))
     return table
 
 
 def all_tables() -> list[Table]:
-    """Regenerate every table of the paper's evaluation section."""
-    return [table1_tomcatv(), table2_dgefa(), table3_appsp()]
+    """Regenerate every table of the paper's evaluation section.
+
+    .. deprecated::
+        Build tables through :class:`repro.Session` (share its manager
+        and cache with the table builders) or run the grid yourself via
+        :func:`repro.sweep.run_sweep`.
+    """
+    warnings.warn(
+        "all_tables() is deprecated; use repro.Session with the "
+        "table*_ builders, or repro.sweep.run_sweep for custom grids",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    manager = PassManager()
+    return [
+        table1_tomcatv(manager=manager),
+        table2_dgefa(manager=manager),
+        table3_appsp(manager=manager),
+    ]
 
 
 # ---------------------------------------------------------------------------

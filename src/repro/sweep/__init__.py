@@ -1,0 +1,17 @@
+"""Experiment-grid sweeps over the compiler and simulator.
+
+Declare a grid with :class:`SweepSpec`, run it with
+:func:`run_sweep`, consume ordered :class:`SweepResult` records.
+"""
+
+from .engine import execute_job, run_sweep
+from .spec import MODES, SweepJob, SweepResult, SweepSpec
+
+__all__ = [
+    "MODES",
+    "SweepJob",
+    "SweepResult",
+    "SweepSpec",
+    "execute_job",
+    "run_sweep",
+]

@@ -73,13 +73,15 @@ class TestLoweringCache:
 
     def test_pickle_round_trip_relowers(self):
         # LoweredIR holds exec'd closures; pickling reduces to the IR
-        # and re-lowers on load (so CompiledProgram crosses the
-        # compile_many process pool).
+        # and arrives as a lazy stand-in that re-lowers on first touch
+        # (so CompiledProgram crosses the compile_many pool and the
+        # disk cache without paying builtins.compile up front).
         proc = parse_and_build(SOURCE)
         lowered = lower_procedure(proc)
         clone = pickle.loads(pickle.dumps(lowered))
-        assert isinstance(clone, LoweredIR)
+        assert not isinstance(clone, LoweredIR)  # lazy until touched
         assert set(clone.assigns) == set(lowered.assigns)
+        assert isinstance(clone.force(), LoweredIR)
         assert set(clone.conds) == set(lowered.conds)
         assert clone.flops == lowered.flops
 
