@@ -1,15 +1,18 @@
 """Simulator engine benchmark: tier-3 slab kernels vs tier-2 lowered
-closures vs the tree-walking interpreter.
+closures vs the tree-walking interpreter, plus the cost-driven
+``tier="auto"`` mode that consults the compiled TierPlan per nest.
 
-Every run asserts **bit-for-bit identity** across all three paths —
+Every run asserts **bit-for-bit identity** across all four paths —
 virtual clocks, traffic statistics, and complete per-rank memory state
 — before any timing is trusted; the identity asserts double as the
 CI divergence gate (``BENCH_SIM_SMOKE=1`` shrinks the problem sizes
-for the smoke job; full mode uses the paper's tomcatv problem size
-n=513 and requires the slab engine to be >=10x over the interpreter
-and >=2.5x over the lowered path).  tomcatv must keep >=80% of its
-loop instances on the slab path in both modes.  Results land in
-``BENCH_simulator.json`` at the repository root.
+for the smoke job; full mode uses the paper's problem sizes).  All
+three paper programs must keep >=80% of their loop instances on the
+slab path and beat the lowered engine in both the blanket-slab and
+auto tiers at full size; the smoke job gates coverage on all three
+and allows 10% timing noise on the auto ratio.  Results — including
+the per-nest tier decisions — land in ``BENCH_simulator.json`` at the
+repository root.
 """
 
 import json
@@ -41,22 +44,31 @@ _RESULTS: dict[str, dict] = {}
 #: per-program floors on the recorded metrics; identity is always
 #: asserted, these additionally gate the speedups and slab coverage
 if SMOKE:
+    # smoke sizes run in milliseconds: the auto-vs-lowered ratio only
+    # guards against a gross regression, real floors live in full mode
+    _SMOKE_GATES = {"slab_coverage": 0.8, "speedup_auto_vs_lowered": 0.8}
     _JOBS = [
         (
             "tomcatv",
             tomcatv_source(n=33, niter=1, procs=8),
             tomcatv_inputs(33),
-            {"slab_coverage": 0.8},
+            dict(_SMOKE_GATES),
         ),
-        ("dgefa", dgefa_source(n=24, procs=4), dgefa_inputs(24), {}),
+        ("dgefa", dgefa_source(n=40, procs=4), dgefa_inputs(40),
+         dict(_SMOKE_GATES)),
         (
             "appsp-2d",
             appsp_source(nx=8, ny=8, nz=8, niter=1, procs=4, distribution="2d"),
             appsp_inputs(8, 8, 8),
-            {},
+            dict(_SMOKE_GATES),
         ),
     ]
 else:
+    _FULL_GATES = {
+        "slab_coverage": 0.8,
+        "speedup_vs_lowered": 1.0,
+        "speedup_auto_vs_lowered": 1.0,
+    }
     _JOBS = [
         # the paper's tomcatv problem size; the ISSUE's slab targets
         (
@@ -67,15 +79,16 @@ else:
                 "speedup": 3.0,
                 "speedup_slab": 10.0,
                 "speedup_vs_lowered": 2.5,
-                "slab_coverage": 0.8,
+                **_FULL_GATES,
             },
         ),
-        ("dgefa", dgefa_source(n=120, procs=16), dgefa_inputs(120), {}),
+        ("dgefa", dgefa_source(n=120, procs=16), dgefa_inputs(120),
+         dict(_FULL_GATES)),
         (
             "appsp-2d",
             appsp_source(nx=16, ny=16, nz=16, niter=1, procs=16, distribution="2d"),
             appsp_inputs(16, 16, 16),
-            {},
+            dict(_FULL_GATES),
         ),
     ]
 
@@ -124,6 +137,10 @@ def test_engine_speedups(name, source, inputs, gates):
     slab = simulate(compiled, inputs, fast_path=True, slab_path=True)
     slab_s = time.perf_counter() - started
 
+    started = time.perf_counter()
+    auto = simulate(compiled, inputs, tier="auto")
+    auto_s = time.perf_counter() - started
+
     # Disabled-tracer overhead: the same slab run with an explicit
     # disabled Tracer attached must cost what the default (NULL_TRACER)
     # run costs — the obs hooks are one attribute load and one branch.
@@ -136,22 +153,28 @@ def test_engine_speedups(name, source, inputs, gates):
 
     assert_identical(fast, slow)
     assert_identical(slab, slow)
+    assert_identical(auto, slow)
     assert_identical(traced, slow)
     for array in inputs:
         assert fast.gather(array).tobytes() == slow.gather(array).tobytes()
         assert slab.gather(array).tobytes() == slow.gather(array).tobytes()
+        assert auto.gather(array).tobytes() == slow.gather(array).tobytes()
 
     measured = {
         "speedup": interpreted_s / lowered_s,
         "speedup_slab": interpreted_s / slab_s,
         "speedup_vs_lowered": lowered_s / slab_s,
+        "speedup_auto_vs_lowered": lowered_s / auto_s,
         "slab_coverage": slab.slab_coverage,
+        "slab_coverage_auto": auto.slab_coverage,
     }
     tracer_overhead = slab_traced_s / slab_s
+    tierplan = compiled.tierplan
     _RESULTS[name] = {
         "interpreted_s": round(interpreted_s, 4),
         "lowered_s": round(lowered_s, 4),
         "slab_s": round(slab_s, 4),
+        "auto_s": round(auto_s, 4),
         **{k: round(v, 3) for k, v in measured.items()},
         "tracer_overhead": round(tracer_overhead, 4),
         # coverage/traffic columns (identical across tiers by the
@@ -159,6 +182,10 @@ def test_engine_speedups(name, source, inputs, gates):
         "messages": slab.stats.messages,
         "elements": slab.stats.elements,
         "fetches": slab.stats.fetches,
+        # per-nest decision breakdown: what the TierPlan predicted and
+        # what the auto run actually chose, on stable loop ordinals
+        "tierplan": tierplan.summary() if tierplan is not None else None,
+        "tier_decisions": auto.canonical_stats()["tiers"],
         "paper_size": not SMOKE,
     }
     _write_json()

@@ -174,12 +174,17 @@ class Session:
         seed: int = 0,
         validate: bool = True,
         trace_capacity: int = 0,
+        tier: str | None = "auto",
         **overrides: Any,
     ) -> RunResult:
         """Execute ``source`` on the simulated machine with
         deterministic random inputs (``seed``), cross-checking every
         array against the sequential interpreter unless
-        ``validate=False``."""
+        ``validate=False``.  ``tier`` selects the execution engine:
+        ``"auto"`` (default) consults the compiled :class:`TierPlan`
+        per nest, ``"interpreted"``/``"lowered"``/``"slab"`` force a
+        single tier, and ``None`` keeps the simulator's legacy
+        blanket behaviour."""
         import numpy as np
 
         from .codegen.seq import run_sequential
@@ -205,6 +210,7 @@ class Session:
             trace_capacity=trace_capacity,
             tracer=self.tracer,
             metrics=self.metrics,
+            tier=tier,
         )
         matches: dict[str, bool] = {}
         if validate:

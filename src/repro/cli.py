@@ -5,6 +5,7 @@ Usage (also via ``python -m repro``)::
     repro compile PROGRAM.hpf [--procs 16] [--strategy selected] [--spmd]
     repro estimate PROGRAM.hpf [--procs 1 2 4 8 16] [...]
     repro run PROGRAM.hpf [--procs 4] [--seed 0] [--trace out.json]
+              [--tier auto|interpreted|lowered|slab]
               [--metrics] [--metrics-json m.json] [--stats-json s.json]
     repro tables [--table 1 2 3] [--fast]
     repro cache stats|clear [--cache-dir DIR]
@@ -224,7 +225,12 @@ def cmd_run(args) -> int:
     session = _session(
         args, num_procs=args.procs, tracer=tracer, metrics=metrics
     )
-    result = session.run(source, seed=args.seed, trace_capacity=ring_capacity)
+    result = session.run(
+        source,
+        seed=args.seed,
+        trace_capacity=ring_capacity,
+        tier=getattr(args, "tier", "auto"),
+    )
 
     for name, match in result.matches.items():
         print(f"  {name:8s} matches sequential: {match}")
@@ -344,6 +350,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compile_flags(p_run)
     p_run.add_argument("--procs", type=int, default=4)
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--tier",
+        choices=["auto", "interpreted", "lowered", "slab"],
+        default="auto",
+        help="execution engine: 'auto' picks slab per nest from the "
+        "compiled TierPlan; the others force one tier everywhere",
+    )
     p_run.add_argument(
         "--trace", type=_trace_arg, default=0, metavar="N|OUT.json",
         help="an integer prints the first N runtime communication "

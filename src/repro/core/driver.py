@@ -46,6 +46,7 @@ if TYPE_CHECKING:  # provided by comm/machine passes; no runtime dependency
     from ..machine.lowering import LoweredIR
     from ..machine.slabexec import SlabReport
     from ..obs import Tracer
+    from ..perf.tierplan import TierPlan
 
 
 @dataclass
@@ -138,6 +139,10 @@ class CompiledProgram:
     #: slab-eligibility report from the slabexec pass (the simulator's
     #: tier-3 engine); None when a custom pipeline skipped it
     slabs: "SlabReport | None" = None
+    #: cost-driven per-nest tier decisions from the tierplan pass
+    #: (consulted by the simulator under ``tier="auto"``); None when a
+    #: custom pipeline skipped it
+    tierplan: "TierPlan | None" = None
 
     @property
     def grid(self) -> ProcessorGrid:
@@ -219,6 +224,7 @@ def compile_procedure(
         timings=all_timings,
         lowering=state.products.get("lowering"),
         slabs=state.products.get("slabexec"),
+        tierplan=state.products.get("tierplan"),
     )
 
 

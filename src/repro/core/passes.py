@@ -297,6 +297,7 @@ DEFAULT_PIPELINE: tuple[str, ...] = (
     "message-combining",
     "lowering",
     "slabexec",
+    "tierplan",
 )
 
 
@@ -762,6 +763,41 @@ register_pass(
         run=_run_slabexec,
         provides=("slabexec",),
         requires=("ctx", "grid", "executors", "comm"),
+        cacheable=False,
+    )
+)
+
+
+def _run_tierplan(state: PipelineState) -> dict[str, Any]:
+    """Combine the slab-eligibility report with per-nest cost estimates
+    into the pickle-safe TierPlan the runtime consults under
+    ``tier="auto"``.  Depends on everything the estimator prices, so it
+    runs per-ablation and stays uncached like the mapping back end."""
+    # deferred import: repro.perf depends on repro.core
+    from ..perf.estimator import PerfEstimator
+    from ..perf.tierplan import build_tierplan
+
+    estimator = PerfEstimator(
+        SimpleNamespace(
+            proc=state.proc,
+            options=state.options,
+            ctx=state["ctx"],
+            grid=state["grid"],
+            executors=state["executors"],
+            comm=state["comm"],
+        )
+    )
+    return {
+        "tierplan": build_tierplan(state.proc, state["slabexec"], estimator)
+    }
+
+
+register_pass(
+    Pass(
+        name="tierplan",
+        run=_run_tierplan,
+        provides=("tierplan",),
+        requires=("ctx", "grid", "executors", "comm", "slabexec"),
         cacheable=False,
     )
 )

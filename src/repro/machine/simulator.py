@@ -120,8 +120,23 @@ class SPMDSimulator:
         slab_path: bool = True,
         tracer: Tracer | None = None,
         metrics: Metrics | None = None,
+        tier: str | None = None,
     ):
         self.compiled = compiled
+        # ``tier`` names the engine stack explicitly and overrides the
+        # legacy fast_path/slab_path flags; None keeps their semantics
+        # ("slab" everywhere it can) for existing callers and parity
+        # tests.  "auto" additionally consults the compiled TierPlan per
+        # nest — cost-driven selection that never regresses below the
+        # lowered tier.
+        if tier is not None:
+            if tier not in ("auto", "interpreted", "lowered", "slab"):
+                raise ValueError(
+                    f"tier must be auto|interpreted|lowered|slab, got {tier!r}"
+                )
+            fast_path = tier != "interpreted"
+            slab_path = tier in ("auto", "slab")
+        self.tier_mode = tier
         #: structured tracing (repro.obs); the disabled NULL_TRACER by
         #: default, so hot paths pay one attribute load and one branch.
         #: Unlike the legacy ``trace`` ring, enabling it does NOT
@@ -141,6 +156,16 @@ class SPMDSimulator:
         #: time — the bench's eligibility-coverage metric
         self.slab_instances = 0
         self.interp_instances = 0
+        #: loop ids the TierPlan approved for slab takeover (None: no
+        #: plan consulted — every eligible nest may be taken)
+        self._tier_approved: set[int] | None = None
+        if tier == "auto":
+            plan = getattr(compiled, "tierplan", None)
+            if plan is not None and plan.ir_epoch == compiled.proc.ir_epoch:
+                self._tier_approved = plan.slab_loops()
+        #: runtime record, loop id -> engine that actually ran the nest
+        #: ("slab" | "lowered"), exported via canonical_stats()/metrics
+        self.tier_decisions: dict[int, str] = {}
         self.proc = compiled.proc
         self.grid = compiled.grid
         self.machine = machine or compiled.options.machine
@@ -777,10 +802,25 @@ class SPMDSimulator:
             key = "unplaced" if event is None else f"evt{event.ordinal:04d}"
             per_event[key] = per_event.get(key, 0) + count
         stats["per_event_fetches"] = dict(sorted(per_event.items()))
+        # Tier decisions keyed on the loop's pre-order ordinal — like
+        # the event ordinals, stable across compiles of one source
+        # (stmt ids are process-global and drift).
+        ordinals = {
+            s.stmt_id: i
+            for i, s in enumerate(
+                s for s in self.proc.all_stmts() if isinstance(s, LoopStmt)
+            )
+        }
+        tiers = {
+            f"L{ordinals[sid]:02d}": choice
+            for sid, choice in self.tier_decisions.items()
+            if sid in ordinals
+        }
         return {
             "procs": self.grid.size,
             "clocks": self.clocks.snapshot(),
             "stats": stats,
+            "tiers": dict(sorted(tiers.items())),
         }
 
     def collect_metrics(self, metrics: Metrics | None = None) -> Metrics:
@@ -800,6 +840,10 @@ class SPMDSimulator:
         m.gauge("sim.slab_instances", self.slab_instances)
         m.gauge("sim.interp_instances", self.interp_instances)
         m.gauge("sim.slab_coverage", round(self.slab_coverage, 6))
+        if self.tier_mode is not None:
+            m.gauge(f"tier.mode[{self.tier_mode}]", 1)
+        for sid, choice in sorted(self.tier_decisions.items()):
+            m.gauge(f"tier.decision[loop=S{sid},choice={choice}]", 1)
         for name, value in self.stats.as_dict().items():
             if isinstance(value, (int, float)):
                 m.gauge(f"sim.{name}", value)
@@ -833,6 +877,7 @@ def simulate(
     slab_path: bool = True,
     tracer: Tracer | None = None,
     metrics: Metrics | None = None,
+    tier: str | None = None,
 ) -> SPMDSimulator:
     sim = SPMDSimulator(
         compiled,
@@ -842,6 +887,7 @@ def simulate(
         slab_path=slab_path,
         tracer=tracer,
         metrics=metrics,
+        tier=tier,
     )
     for name, values in (inputs or {}).items():
         sim.set_array(name, values)

@@ -248,21 +248,36 @@ class SlabReport:
 
     ``inner`` maps innermost-loop statement ids to ``"ok"`` or the first
     failing reason; ``column`` does the same for outer loops wrapping a
-    single ineligible inner loop (executed column-wise).  Plain ids and
-    strings only, so the product pickles with the compiled program and
-    is rebuilt (like the lowering) when ``ir_epoch`` is stale.
+    single ineligible inner loop (executed column-wise); ``triangular``
+    covers outer loops wrapping exactly one inner loop whose bounds may
+    vary with the outer index (imperfect nests with prologue/epilogue
+    assigns included).  Plain ids and strings only, so the product
+    pickles with the compiled program and is rebuilt (like the
+    lowering) when ``ir_epoch`` is stale.
     """
 
     ir_epoch: int
     inner: dict[int, str] = field(default_factory=dict)
     column: dict[int, str] = field(default_factory=dict)
+    triangular: dict[int, str] = field(default_factory=dict)
+
+    def eligible_loops(self) -> set[int]:
+        """Statement ids of every loop with at least one "ok" verdict."""
+        out: set[int] = set()
+        tri = getattr(self, "triangular", {})  # pre-field pickles
+        for table in (self.inner, self.column, tri):
+            out.update(sid for sid, v in table.items() if v == "ok")
+        return out
 
     def summary(self) -> dict[str, int]:
+        tri = getattr(self, "triangular", {})  # pre-field pickles
         return {
             "inner_ok": sum(1 for v in self.inner.values() if v == "ok"),
             "inner_total": len(self.inner),
             "column_ok": sum(1 for v in self.column.values() if v == "ok"),
             "column_total": len(self.column),
+            "triangular_ok": sum(1 for v in tri.values() if v == "ok"),
+            "triangular_total": len(tri),
         }
 
 
@@ -315,43 +330,67 @@ def _check_executor(info, v: str | None) -> str | None:
     return None
 
 
-def _carried_dependence(proc, loop: LoopStmt, assigns) -> str | None:
+def _carried_dependence(proc, loop: LoopStmt, assigns,
+                        reduction_ids=frozenset()) -> str | None:
     """Reject any possible cross-iteration flow of values through an
     array at ``loop``'s level (per :mod:`repro.analysis.dependence`).
 
-    A pair whose subscripts have identical canonical forms with a
-    nonzero coefficient on the loop variable touches the same element
-    only in the same iteration (distance 0) and is allowed; anything
+    A write/read pair sharing *some* dimension whose subscript form is
+    identical, has a nonzero coefficient on the loop variable, and is
+    otherwise invariant over the loop (no in-body-written scalars)
+    touches the same element only in the same iteration — that
+    dimension witnesses distance 0 and the pair is allowed; anything
     else that ``may_depend_within_loop`` cannot disprove is treated as
-    loop-carried."""
+    loop-carried.  A recognized reduction update's own accumulator
+    recurrence (write and read in the same update statement) is the
+    fold being vectorized, not a rejection."""
     from ..analysis.dependence import may_depend_within_loop
 
     v = loop.var.name
+    written_scalars = {
+        s.lhs.symbol.name for s in assigns if isinstance(s.lhs, ScalarRef)
+    }
+
+    def zero_distance_witness(wf, of) -> bool:
+        for a, b in zip(wf, of):
+            if _canon_form(a) != _canon_form(b):
+                continue
+            if not any(
+                c != 0 and sym.name == v and sym.value is None
+                for sym, c in a.coeffs
+            ):
+                continue
+            if any(
+                sym.value is None and sym.name != v
+                and sym.name in written_scalars
+                for sym, _c in a.coeffs
+            ):
+                continue  # the form itself mutates mid-loop
+            return True
+        return False
+
     writes = []
     refs = []
     for s in assigns:
         if isinstance(s.lhs, ArrayElemRef):
-            writes.append(s.lhs)
-        refs.extend(_stmt_array_refs(s))
-    for w in writes:
+            writes.append((s, s.lhs))
+        for r in _stmt_array_refs(s):
+            refs.append((s, r))
+    for ws, w in writes:
         w_forms = [affine_form(sub) for sub in w.subscripts]
         if any(f is None for f in w_forms):
             return f"non-affine subscript in {w.symbol.name}"
-        w_canon = tuple(_canon_form(f) for f in w_forms)
-        w_injective = any(
-            f.coeff(sym) != 0
-            for f in w_forms
-            for sym in f.symbols
-            if sym.name == v
-        )
-        for o in refs:
+        for os, o in refs:
             if o is w or o.symbol.name != w.symbol.name:
                 continue
+            if os is ws and ws.stmt_id in reduction_ids:
+                continue  # the accumulator recurrence of a fold
             o_forms = [affine_form(sub) for sub in o.subscripts]
             if any(f is None for f in o_forms):
                 return f"non-affine subscript in {o.symbol.name}"
-            o_canon = tuple(_canon_form(f) for f in o_forms)
-            if o_canon == w_canon and w_injective:
+            if len(o_forms) == len(w_forms) and zero_distance_witness(
+                w_forms, o_forms
+            ):
                 continue  # distance 0 only
             if may_depend_within_loop(proc, w, o, loop):
                 return f"loop-carried dependence on {w.symbol.name}"
@@ -380,7 +419,7 @@ def _classify_inner(proc, loop: LoopStmt, executors, placements,
         for level in placements.get(s.stmt_id, ()):
             if level >= loop.level:
                 return f"S{s.stmt_id}: communication placed inside the loop"
-    return _carried_dependence(proc, loop, assigns) or "ok"
+    return _carried_dependence(proc, loop, assigns, reduction_ids) or "ok"
 
 
 def _classify_column(proc, loop: LoopStmt, executors, placements,
@@ -477,6 +516,153 @@ def _classify_column(proc, loop: LoopStmt, executors, placements,
     return "ok"
 
 
+def _replicated_exec(info) -> bool:
+    """True when the statement executes on every rank, invariantly:
+    replicated ("all") or privatized/no-guard ("union") executors whose
+    position constrains no grid dimension."""
+    return (
+        info is not None
+        and info.kind in ("all", "union")
+        and all(
+            dim.kind != "pos" or dim.form is None for dim in info.position
+        )
+    )
+
+
+def _classify_triangular(proc, loop: LoopStmt, executors, placements,
+                         reduction_ids, grid_rank) -> str:
+    """An outer loop executed as one flattened slab: straight-line
+    assigns around exactly one inner loop whose bounds may be affine in
+    the outer variable (triangular nests) — per-column slab widths vary
+    with the outer index.  Every statement runs on the owner of the
+    same outer-variable position, every array touches exactly its own
+    column, and arrays are written only inside the inner loop, so the
+    columns evolve independently and the whole imperfect nest commits
+    as one takeover."""
+    if grid_rank is not None and grid_rank != 1:
+        return "grid is not one-dimensional"
+    j = loop.var.name
+    inner: LoopStmt | None = None
+    pre: list[AssignStmt] = []
+    post: list[AssignStmt] = []
+    for s in loop.body:
+        if isinstance(s, ContinueStmt):
+            continue
+        if isinstance(s, LoopStmt):
+            if inner is not None:
+                return "more than one inner loop"
+            inner = s
+            continue
+        if not isinstance(s, AssignStmt):
+            return f"body contains {type(s).__name__}"
+        (pre if inner is None else post).append(s)
+    if inner is None:
+        return "no inner loop"
+    i = inner.var.name
+    body: list[AssignStmt] = []
+    for s in inner.body:
+        if isinstance(s, ContinueStmt):
+            continue
+        if not isinstance(s, AssignStmt):
+            return f"inner body contains {type(s).__name__}"
+        body.append(s)
+    all_assigns = pre + body + post
+    if not body:
+        return "empty inner body"
+    # inner bounds may vary with the outer variable (that is the point)
+    # but not with the inner variable; the step must be invariant
+    for bound, tag in ((inner.low, "low"), (inner.high, "high")):
+        form = affine_form(bound) if bound is not None else None
+        if form is None:
+            return f"inner {tag} bound not affine"
+        for sym, _c in form.coeffs:
+            if sym.value is None and sym.name == i:
+                return "inner bounds vary with the inner variable"
+    if inner.step is not None:
+        form = affine_form(inner.step)
+        if form is None:
+            return "inner step not affine"
+        for sym, _c in form.coeffs:
+            if sym.value is None and sym.name in (i, j):
+                return "inner step varies with the loop variables"
+    canon_pos = _MISSING
+    for s in all_assigns:
+        if s.stmt_id in reduction_ids:
+            return f"S{s.stmt_id}: reduction update in body"
+        info = executors.get(s.stmt_id)
+        if info is None:
+            return f"S{s.stmt_id}: no executor info"
+        if _replicated_exec(info):
+            # every rank runs it each iteration: fine for scalar-only
+            # statements with rank-invariant operands (checked at run
+            # time); arrays would read per-rank state
+            if isinstance(s.lhs, ArrayElemRef) or _stmt_array_refs(s):
+                return f"S{s.stmt_id}: replicated statement touches arrays"
+            for level in placements.get(s.stmt_id, ()):
+                if level >= loop.level:
+                    return (
+                        f"S{s.stmt_id}: communication placed inside the loop"
+                    )
+            continue
+        reason = _check_executor(info, None)
+        if reason is not None:
+            return f"S{s.stmt_id}: {reason}"
+        if info.kind != "owner" or len(info.position) != 1:
+            return f"S{s.stmt_id}: executor is not a 1-D owner position"
+        dim = info.position[0]
+        if dim.kind != "pos" or dim.form is None:
+            return f"S{s.stmt_id}: executor position is not a point"
+        pos = _canon_form(dim.form)
+        if canon_pos is _MISSING:
+            canon_pos = pos
+        elif pos != canon_pos:
+            return "executor position differs across statements"
+        for sym, _c in dim.form.coeffs:
+            if sym.value is None and sym.name == i:
+                return "executor position varies with the inner variable"
+        reason = _check_affine_refs(s)
+        if reason is not None:
+            return f"S{s.stmt_id}: {reason}"
+        for level in placements.get(s.stmt_id, ()):
+            if level >= loop.level:
+                return f"S{s.stmt_id}: communication placed inside the loop"
+    if canon_pos is _MISSING:
+        return "no owner-positioned statement"
+    # column discipline: one dimension subscripted exactly ``j`` in
+    # every ref, the others ``j``-free; arrays written only in the
+    # inner loop, and prologue/epilogue refs are ``i``-free
+    inner_written = {
+        s.lhs.symbol.name for s in body if isinstance(s.lhs, ArrayElemRef)
+    }
+    jdims: dict[str, int] = {}
+    for s in all_assigns:
+        in_body = s in body
+        if not in_body and isinstance(s.lhs, ArrayElemRef):
+            return "array written outside the inner loop"
+        for ref in _stmt_array_refs(s):
+            name = ref.symbol.name
+            if not in_body and name in inner_written:
+                return f"{name}: written array read outside the inner loop"
+            ref_jdims = []
+            for d, sub in enumerate(ref.subscripts):
+                canon = _canon_form(affine_form(sub))
+                if canon == (0, ((j, 1),)):
+                    ref_jdims.append(d)
+                elif any(nm == j for nm, _ in canon[1]):
+                    return f"{name}: mixed {j}-subscript"
+                elif not in_body and any(nm == i for nm, _ in canon[1]):
+                    return f"{name}: {i}-subscript outside the inner loop"
+            if len(ref_jdims) != 1:
+                return f"{name}: no unique {j}-column dimension"
+            d = ref_jdims[0]
+            if jdims.setdefault(name, d) != d:
+                return f"{name}: inconsistent {j}-column dimension"
+    reason = _carried_dependence(proc, inner, body, reduction_ids)
+    if reason is not None:
+        return reason
+    return "ok"
+
+
 def classify_procedure(proc, executors, events, reduction_ids,
                        grid_rank=None) -> SlabReport:
     """Statically classify every loop nest for slab eligibility."""
@@ -512,6 +698,15 @@ def classify_procedure(proc, executors, events, reduction_ids,
                     and report.inner.get(nested[0].stmt_id, "") != "ok"
                 ):
                     report.column[s.stmt_id] = _classify_column(
+                        proc, s, executors, placements, reduction_ids,
+                        grid_rank,
+                    )
+                if len(nested) == 1:
+                    # classified even when the inner loop is itself
+                    # eligible: the outer takeover preempts; a bail
+                    # falls back to tier 2, which re-enters the inner
+                    # loop's own takeover
+                    report.triangular[s.stmt_id] = _classify_triangular(
                         proc, s, executors, placements, reduction_ids,
                         grid_rank,
                     )
@@ -570,7 +765,8 @@ class _Step:
     """One body assignment, preprocessed."""
 
     __slots__ = ("stmt", "sid", "dt", "kind", "name", "stype", "rhs",
-                 "red_op", "red_expr", "lhs_forms", "row_form")
+                 "red_op", "red_expr", "lhs_forms", "row_form",
+                 "region_key", "repl")
 
     def __init__(self, stmt: AssignStmt, dt: float):
         self.stmt = stmt
@@ -583,13 +779,18 @@ class _Step:
         self.red_expr = None
         self.lhs_forms = None
         self.row_form = None
+        self.region_key = None
+        self.repl = False
 
 
-def _check_form_resolvable(form, loop_vars: tuple[str, ...]) -> None:
+def _check_form_resolvable(form, loop_vars: tuple[str, ...],
+                           scalar_deps: set | None = None) -> None:
     """Subscript/position forms may reference only the vectorized loop
     vars, other (env-resolved) loop variables, and symbolic constants.
-    A form that reads a per-rank memory scalar cannot be shared across
-    ranks — and a body-written scalar would change mid-loop."""
+    A per-rank memory scalar is allowed only when the caller passes
+    ``scalar_deps`` — its name is recorded and the *prepare* phase
+    resolves one agreed value across the participants (bailing when the
+    copies diverge or are invalid); without that set, it bails here."""
     for sym, _c in form.coeffs:
         if sym.value is not None:
             continue
@@ -597,7 +798,48 @@ def _check_form_resolvable(form, loop_vars: tuple[str, ...]) -> None:
             continue
         if sym.is_loop_var:
             continue  # resolved from env at run time (bail if absent)
+        if scalar_deps is not None:
+            scalar_deps.add(sym.name)
+            continue
         raise _Bail(f"subscript depends on scalar {sym.name}")
+
+
+def _afold_operand(rhs, name: str, canon: tuple, op: str):
+    """``A(c) = A(c) OP e`` / ``A(c) = MAX(A(c), e)`` → ``e`` (both
+    orderings), where the accumulator reference matches the store's
+    canonical subscript form exactly; None otherwise.  ``e`` must not
+    touch the accumulator array at all."""
+
+    def is_acc(e):
+        if not isinstance(e, ArrayElemRef) or e.symbol.name != name:
+            return False
+        forms = [affine_form(s) for s in e.subscripts]
+        if any(f is None for f in forms):
+            return False
+        return tuple(_canon_form(f) for f in forms) == canon
+
+    e = None
+    if op in ("+", "*") and isinstance(rhs, BinOp) and rhs.op == op:
+        if is_acc(rhs.left):
+            e = rhs.right
+        elif is_acc(rhs.right):
+            e = rhs.left
+    elif (
+        op in ("MAX", "MIN")
+        and isinstance(rhs, IntrinsicCall)
+        and rhs.name == op
+        and len(rhs.args) == 2
+    ):
+        if is_acc(rhs.args[0]):
+            e = rhs.args[1]
+        elif is_acc(rhs.args[1]):
+            e = rhs.args[0]
+    if e is None:
+        return None
+    for ref in e.refs():
+        if isinstance(ref, ArrayElemRef) and ref.symbol.name == name:
+            return None  # acc on both sides: not a fold
+    return e
 
 
 def _affine_vec(form, vec_vars: dict, env, symbol=None, dim=None):
@@ -644,9 +886,11 @@ class _InnerCtx(_Ctx):
         self.offs = offs
         self.scalar_shadow: dict[str, np.ndarray] = {}
         self.scalar_killed: set[str] = set()
-        self.array_shadow: dict[str, np.ndarray] = {}
-        self.array_killed: set[str] = set()
+        #: write-region key -> shadow lane vector
+        self.array_shadow: dict[tuple, np.ndarray] = {}
+        self.array_killed: set[tuple] = set()
         self.red_results: dict[str, Any] = {}
+        self.afold_results: dict[int, Any] = {}  # step index -> folded
         self.tape: list[float] = []
         #: step index -> position of its dt on the tape
         self.tape_pos: dict[int, int] = {}
@@ -689,11 +933,12 @@ class _InnerCtx(_Ctx):
 
     def read_array(self, ref: ArrayElemRef):
         name = ref.symbol.name
-        if name in self.plan.arrays:
-            vec = self.array_shadow.get(name)
+        rk = self.plan.read_region.get(ref.ref_id)
+        if rk is not None:
+            vec = self.array_shadow.get(rk)
             if vec is not None:
                 return vec, vec.dtype.kind in "bi"
-            if name in self.array_killed:
+            if rk in self.array_killed:
                 raise _Bail(f"array {name} invalidated mid-loop here")
             # read before this iteration's write: pre-state (injective
             # subscripts mean no other iteration has touched the lane)
@@ -702,8 +947,10 @@ class _InnerCtx(_Ctx):
         self.q += 1
         m = memory.valid[name][off]
         if not bool(np.all(m)):
-            if name in self.plan.arrays:
+            if rk is not None:
                 raise _Bail(f"written array {name} read would fetch")
+            # unwritten arrays — and reads prepare has proven disjoint
+            # from every write region — may fetch like any cold read
             return self._fetch_read(ref, off, m)
         data = memory.arrays[name][off]
         return data, data.dtype.kind in "bi"
@@ -772,15 +1019,32 @@ class _InnerCtx(_Ctx):
         if not executes:
             # this rank's copy is invalidated by the executing ranks
             if st.kind == "array":
-                self.array_shadow.pop(st.name, None)
-                self.array_killed.add(st.name)
+                self.array_shadow.pop(st.region_key, None)
+                self.array_killed.add(st.region_key)
             elif st.kind == "scalar":
                 self.scalar_shadow.pop(st.name, None)
                 self.scalar_killed.add(st.name)
-            return  # reductions: private copies stay untouched
+            return  # reductions/folds: private copies stay untouched
         self.cur_k = k
         self.cur_stmt = st.stmt
         self.q = 0
+        if st.kind in ("afold", "sfold"):
+            off = self.offs[st.stmt.lhs.ref_id]
+            memory = self.memory
+            if not bool(memory.valid[st.name][off]):
+                raise _Bail("fold accumulator invalid")
+            start = memory.arrays[st.name][off]
+            value, is_int = _eval(st.red_expr, self)
+            if st.stype is ScalarType.INT and not is_int:
+                raise _Bail("REAL fold into INTEGER accumulator")
+            dtype = np.int64 if st.stype is ScalarType.INT else np.float64
+            buf = np.empty(self.n + 1, dtype=dtype)
+            buf[0] = start
+            buf[1:] = value
+            self.afold_results[k] = _RED_UFUNC[st.red_op].accumulate(buf)[-1]
+            self.tape_pos[k] = len(self.tape)
+            self.tape.append(st.dt)
+            return
         if st.kind == "reduction":
             acc = st.name
             start = self.red_results.get(acc)
@@ -802,8 +1066,8 @@ class _InnerCtx(_Ctx):
         value, is_int = _eval(st.rhs, self)
         vec = _coerce_vec(value, is_int, st.stype, self.n)
         if st.kind == "array":
-            self.array_shadow[st.name] = vec
-            self.array_killed.discard(st.name)
+            self.array_shadow[st.region_key] = vec
+            self.array_killed.discard(st.region_key)
         else:
             self.scalar_shadow[st.name] = vec
             self.scalar_killed.discard(st.name)
@@ -812,13 +1076,19 @@ class _InnerCtx(_Ctx):
 
 
 class _WrittenArray:
-    __slots__ = ("symbol", "forms", "canon", "write_steps")
+    """One write *region* of an array: all stores sharing a canonical
+    subscript form.  An array written under several distinct forms gets
+    several regions; *prepare* verifies the concrete index sets are
+    pairwise disjoint (else it bails to tier 2)."""
 
-    def __init__(self, symbol, forms, canon):
+    __slots__ = ("symbol", "forms", "canon", "write_steps", "ref0")
+
+    def __init__(self, symbol, forms, canon, ref0):
         self.symbol = symbol
         self.forms = forms
         self.canon = canon
         self.write_steps: list[int] = []
+        self.ref0 = ref0  # a representative lhs ref_id for offsets
 
 
 class InnerPlan:
@@ -837,9 +1107,22 @@ class InnerPlan:
         self.loop = loop
         self.v = loop.var.name
         self.steps: list[_Step] = []
-        self.arrays: dict[str, _WrittenArray] = {}
+        #: (name, canon) -> write region
+        self.regions: dict[tuple, _WrittenArray] = {}
+        #: name -> region keys of that array
+        self.written_arrays: dict[str, list[tuple]] = {}
+        #: read ref_id -> region key, for reads matching a write region
+        self.read_region: dict[int, tuple] = {}
+        #: read ref_ids of written arrays with *no* matching region:
+        #: concretely checked disjoint from every write at prepare
+        self.disjoint_reads: list[int] = []
         self.written_scalars: dict[str, int] = {}  # name -> last writer
         self.acc_names: set[str] = set()
+        #: array name -> step index of its fold (reduction into a fixed
+        #: element, e.g. ``AMD(k) = MAX(AMD(k), ...)``)
+        self.afold_arrays: dict[str, int] = {}
+        #: memory scalars subscripts depend on, resolved at prepare
+        self.subscript_scalars: set[str] = set()
         self.ref_forms: dict[int, tuple] = {}  # ref_id -> (symbol, forms)
         red_exprs: list = []
         for stmt in loop.body:
@@ -855,6 +1138,41 @@ class InnerPlan:
             red = sim._reduction_updates.get(stmt.stmt_id)
             if red is not None:
                 reduction, _mapping = red
+                if (
+                    reduction.location_symbol is None
+                    and reduction.op in _RED_UFUNC
+                    and isinstance(stmt.lhs, ArrayElemRef)
+                    and reduction.symbol.name == st.name
+                ):
+                    # fold into one array element: the subscripts must
+                    # be loop-invariant, so every lane hits the same
+                    # private accumulator element
+                    forms = [affine_form(s) for s in stmt.lhs.subscripts]
+                    if any(f is None for f in forms):
+                        raise _Bail("non-affine fold subscript")
+                    for f in forms:
+                        _check_form_resolvable(
+                            f, (self.v,), self.subscript_scalars
+                        )
+                        if any(
+                            sym.name == self.v and sym.value is None
+                            for sym in _form_symbols(f)
+                        ):
+                            raise _Bail("fold subscript varies with lane")
+                    canon = tuple(_canon_form(f) for f in forms)
+                    e = _afold_operand(stmt.rhs, st.name, canon, reduction.op)
+                    if e is None:
+                        raise _Bail("unrecognized array fold update")
+                    st.kind = "afold"
+                    st.red_op = reduction.op
+                    st.red_expr = e
+                    if st.name in self.afold_arrays:
+                        raise _Bail("array folded twice")
+                    self.afold_arrays[st.name] = k
+                    self.ref_forms[stmt.lhs.ref_id] = (stmt.lhs.symbol, forms)
+                    red_exprs.append(e)
+                    self.steps.append(st)
+                    continue
                 if (
                     not isinstance(stmt.lhs, ScalarRef)
                     or reduction.location_symbol is not None
@@ -876,9 +1194,12 @@ class InnerPlan:
                 if any(f is None for f in forms):
                     raise _Bail("non-affine store subscript")
                 for f in forms:
-                    _check_form_resolvable(f, (self.v,))
+                    _check_form_resolvable(
+                        f, (self.v,), self.subscript_scalars
+                    )
                 canon = tuple(_canon_form(f) for f in forms)
-                info = self.arrays.get(st.name)
+                key = (st.name, canon)
+                info = self.regions.get(key)
                 if info is None:
                     if not any(
                         f.coeff(sym) != 0
@@ -886,12 +1207,37 @@ class InnerPlan:
                         for sym in f.symbols
                         if sym.name == self.v and sym.value is None
                     ):
-                        raise _Bail("store not injective in the loop var")
-                    info = _WrittenArray(stmt.lhs.symbol, forms, canon)
-                    self.arrays[st.name] = info
-                elif info.canon != canon:
-                    raise _Bail("writes with differing subscript forms")
+                        # every lane stores the same element: only a
+                        # serial fold (``A(c) = A(c) OP e``, the
+                        # reduction-into-column shape the reduction
+                        # pass left as a plain owner-computes assign)
+                        # has per-iteration semantics a slab can replay
+                        e = op = None
+                        for cand in ("+", "*", "MAX", "MIN"):
+                            e = _afold_operand(stmt.rhs, st.name, canon, cand)
+                            if e is not None:
+                                op = cand
+                                break
+                        if e is None:
+                            raise _Bail("store not injective in the loop var")
+                        st.kind = "sfold"
+                        st.red_op = op
+                        st.red_expr = e
+                        if st.name in self.afold_arrays:
+                            raise _Bail("array folded twice")
+                        self.afold_arrays[st.name] = k
+                        self.ref_forms[stmt.lhs.ref_id] = (
+                            stmt.lhs.symbol, forms
+                        )
+                        self.steps.append(st)
+                        continue
+                    info = _WrittenArray(
+                        stmt.lhs.symbol, forms, canon, stmt.lhs.ref_id
+                    )
+                    self.regions[key] = info
+                    self.written_arrays.setdefault(st.name, []).append(key)
                 info.write_steps.append(k)
+                st.region_key = key
                 self.ref_forms[stmt.lhs.ref_id] = (stmt.lhs.symbol, forms)
             else:
                 st.kind = "scalar"
@@ -899,24 +1245,35 @@ class InnerPlan:
             self.steps.append(st)
         if not self.steps:
             raise _Bail("empty body")
-        # rhs reads: affine forms everywhere, and reads of in-body
-        # written arrays must use exactly the store's subscript form
+        # rhs reads: affine forms everywhere; a read of an in-body
+        # written array either matches a write region exactly (lane for
+        # lane) or must be concretely disjoint from all of them —
+        # deferred to prepare, where the indices are known
         for st in self.steps:
-            expr = st.red_expr if st.kind == "reduction" else st.rhs
+            expr = st.red_expr if st.kind in ("reduction", "afold", "sfold") else st.rhs
             for ref in expr.refs():
                 if not isinstance(ref, ArrayElemRef):
                     continue
+                name = ref.symbol.name
+                if name in self.afold_arrays:
+                    raise _Bail("fold array read outside its fold")
                 forms = [affine_form(s) for s in ref.subscripts]
                 if any(f is None for f in forms):
                     raise _Bail("non-affine read subscript")
                 for f in forms:
-                    _check_form_resolvable(f, (self.v,))
-                info = self.arrays.get(ref.symbol.name)
-                if info is not None:
+                    _check_form_resolvable(
+                        f, (self.v,), self.subscript_scalars
+                    )
+                if name in self.written_arrays:
                     canon = tuple(_canon_form(f) for f in forms)
-                    if canon != info.canon:
-                        raise _Bail("read overlaps writes across lanes")
+                    key = (name, canon)
+                    if key in self.regions:
+                        self.read_region[ref.ref_id] = key
+                    else:
+                        self.disjoint_reads.append(ref.ref_id)
                 self.ref_forms[ref.ref_id] = (ref.symbol, forms)
+        if set(self.afold_arrays) & set(self.written_arrays):
+            raise _Bail("array both folded and written")
         # accumulators must not leak into any other statement
         for st in self.steps:
             for name in self.acc_names:
@@ -924,12 +1281,18 @@ class InnerPlan:
                     continue
                 if st.kind != "reduction" and st.name == name:
                     raise _Bail("accumulator written outside the fold")
-                expr = st.red_expr if st.kind == "reduction" else st.rhs
+                expr = (
+                    st.red_expr
+                    if st.kind in ("reduction", "afold", "sfold")
+                    else st.rhs
+                )
                 for ref in expr.refs():
                     if isinstance(ref, ScalarRef) and ref.symbol.name == name:
                         raise _Bail("accumulator read outside the fold")
         # executor positions must not depend on anything the body writes
         mutated = set(self.written_scalars) | self.acc_names
+        if self.subscript_scalars & mutated:
+            raise _Bail("subscript depends on a scalar written in body")
         for st in self.steps:
             info = sim.compiled.executors.get(st.sid)
             if info is None:
@@ -1035,11 +1398,34 @@ class InnerPlan:
                 raise _Bail("empty executor set")
             rank_sets.append(ranks)
             exec_sets.append(set(ranks))
-        for info in self.arrays.values():
+        for info in self.regions.values():
             first = exec_sets[info.write_steps[0]]
             for k in info.write_steps[1:]:
                 if exec_sets[k] != first:
                     raise _Bail("array writers differ in executor set")
+        participants = sorted(set().union(*exec_sets))
+        sub_env = env
+        if self.subscript_scalars:
+            # subscripts referencing memory scalars: every participant
+            # must hold the same valid integral value (per-iteration
+            # semantics read the rank's own copy each time)
+            sub_env = dict(env)
+            for nm in sorted(self.subscript_scalars):
+                if nm in env:
+                    continue
+                val = _MISSING
+                for r in participants:
+                    memory = sim.memories[r]
+                    if not memory.scalar_is_valid(nm):
+                        raise _Bail(f"subscript scalar {nm} invalid")
+                    got = memory.scalars[nm]
+                    if val is _MISSING:
+                        val = got
+                    elif got != val:
+                        raise _Bail(f"subscript scalar {nm} diverges")
+                if not float(val).is_integer():
+                    raise _Bail(f"subscript scalar {nm} not integral")
+                sub_env[nm] = int(val)
         iv = low + step * np.arange(n, dtype=np.int64)
         vec_vars = {self.v: iv}
         offs: dict[int, tuple] = {}
@@ -1050,13 +1436,44 @@ class InnerPlan:
             if got is None:
                 got = tuple(
                     _bounds_checked_offset(
-                        _affine_vec(f, vec_vars, env), symbol, d
+                        _affine_vec(f, vec_vars, sub_env), symbol, d
                     )
                     for d, f in enumerate(forms)
                 )
                 by_key[key] = got
             offs[ref_id] = got
-        participants = sorted(set().union(*exec_sets))
+        if len(self.regions) > 1 or self.disjoint_reads:
+            # several write regions, or reads not matching any region:
+            # the classification was symbolic — verify the concrete
+            # index sets are disjoint, else per-iteration order matters
+            def flat_of(ref_id):
+                symbol, forms = self.ref_forms[ref_id]
+                shape = tuple(
+                    symbol.extent(d) for d in range(symbol.rank)
+                )
+                idx = tuple(
+                    np.broadcast_to(np.asarray(o, dtype=np.int64), (n,))
+                    for o in offs[ref_id]
+                )
+                return np.ravel_multi_index(idx, shape)
+
+            wflats = {
+                key: flat_of(info.ref0)
+                for key, info in self.regions.items()
+            }
+            for name, keys in self.written_arrays.items():
+                for a in range(len(keys)):
+                    for b in range(a + 1, len(keys)):
+                        if np.intersect1d(
+                            wflats[keys[a]], wflats[keys[b]]
+                        ).size:
+                            raise _Bail("write regions overlap")
+            for ref_id in self.disjoint_reads:
+                symbol, _forms = self.ref_forms[ref_id]
+                rflat = flat_of(ref_id)
+                for key in self.written_arrays[symbol.name]:
+                    if np.intersect1d(rflat, wflats[key]).size:
+                        raise _Bail("read overlaps writes across lanes")
         ctxs: dict[int, _InnerCtx] = {}
         with np.errstate(over="ignore", invalid="ignore"):
             for r in participants:
@@ -1086,14 +1503,15 @@ class InnerPlan:
                     clocks.charge_compute_tape(
                         r, np.tile(np.asarray(tape, dtype=np.float64), n)
                     )
-            for name, info in self.arrays.items():
+            for key, info in self.regions.items():
+                name = key[0]
                 w_ranks = rank_sets[info.write_steps[0]]
                 wset = exec_sets[info.write_steps[0]]
-                off = offs[steps[info.write_steps[0]].stmt.lhs.ref_id]
+                off = offs[info.ref0]
                 bump = n * len(info.write_steps)
                 for r in w_ranks:
                     memory = memories[r]
-                    memory.arrays[name][off] = ctxs[r].array_shadow[name]
+                    memory.arrays[name][off] = ctxs[r].array_shadow[key]
                     memory.valid[name][off] = True
                     memory.versions[name] += bump
                 if len(w_ranks) < len(memories):
@@ -1118,6 +1536,34 @@ class InnerPlan:
                         memories[r].scalar_store(
                             st.name, ctxs[r].red_results[st.name].item()
                         )
+                elif st.kind == "afold":
+                    off = offs[st.stmt.lhs.ref_id]
+                    for r in rank_sets[k]:
+                        memory = memories[r]
+                        memory.arrays[st.name][off] = (
+                            ctxs[r].afold_results[k].item()
+                        )
+                        memory.valid[st.name][off] = True
+                        memory.versions[st.name] += n
+                    # private accumulation: non-executors keep their
+                    # copies untouched, exactly like scalar reductions
+                elif st.kind == "sfold":
+                    # a plain owner-computes store, just serialized:
+                    # non-executors are invalidated once per iteration
+                    off = offs[st.stmt.lhs.ref_id]
+                    wset = exec_sets[k]
+                    for r in rank_sets[k]:
+                        memory = memories[r]
+                        memory.arrays[st.name][off] = (
+                            ctxs[r].afold_results[k].item()
+                        )
+                        memory.valid[st.name][off] = True
+                        memory.versions[st.name] += n
+                    if len(wset) < len(memories):
+                        for r2, memory in enumerate(memories):
+                            if r2 not in wset:
+                                memory.valid[st.name][off] = False
+                                memory.versions[st.name] += n
             sim.slab_instances += n * len(steps)
 
         return commit
@@ -1518,6 +1964,590 @@ class ColumnPlan:
         return commit
 
 
+class _TriCtx(_Ctx):
+    """Flattened-lane evaluation of one triangular/imperfect nest: the
+    prologue and epilogue run with one lane per outer iteration
+    (column), the inner body with one lane per (outer, inner) instance.
+    Every lane executes on its column's owner, so evaluation is global
+    and per-rank state is gathered lane-wise from the owning rank."""
+
+    #: statement phases, in execution order
+    PRE, BODY, POST = 0, 1, 2
+
+    def __init__(self, plan: "TriangularPlan", jvec, iflat, jflat,
+                 widths, env, exec_col, cols_of, offs):
+        self.plan = plan
+        self.jvec = jvec
+        self.iflat = iflat
+        self.jflat = jflat
+        self.widths = widths
+        self._env = env
+        self.exec_col = exec_col
+        self.cols_of = cols_of
+        self.offs = offs
+        self.nj = jvec.size
+        self.nflat = iflat.size
+        #: owner rank of each flat (body) lane
+        self.rank_flat = np.repeat(exec_col, widths)
+        #: last flat lane of each column
+        self.seg_end = np.cumsum(widths) - 1
+        self.phase = self.PRE
+        #: the statement being processed is replicated on every rank
+        self.cur_repl = False
+        #: phase -> scalar name -> lane vector of that phase
+        self.scalar_shadow: tuple[dict, dict, dict] = ({}, {}, {})
+        self.scalar_cache: dict[str, tuple] = {}
+        self.repl_cache: dict[str, tuple] = {}
+        self.array_shadow: dict[tuple, np.ndarray] = {}
+        self.tape: tuple[list, list, list] = ([], [], [])
+
+    def _lanes(self) -> int:
+        return self.nflat if self.phase == self.BODY else self.nj
+
+    def loop_vec(self, name: str):
+        if self.phase == self.BODY:
+            if name == self.plan.i:
+                return self.iflat
+            if name == self.plan.j:
+                return self.jflat
+        elif name == self.plan.j:
+            return self.jvec
+        return None
+
+    @property
+    def env(self):
+        return self._env
+
+    def _expand(self, vec: np.ndarray, from_phase: int) -> np.ndarray:
+        """Carry a scalar's per-phase value forward within each column:
+        prologue values repeat across the column's body lanes; body
+        values reach the epilogue at each column's final lane."""
+        if from_phase == self.phase:
+            return vec
+        if from_phase == self.PRE and self.phase == self.BODY:
+            return np.repeat(vec, self.widths)
+        if from_phase == self.PRE and self.phase == self.POST:
+            return vec
+        if from_phase == self.BODY and self.phase == self.POST:
+            return vec[self.seg_end]
+        raise _Bail("scalar value flows backward")
+
+    def read_scalar(self, ref: ScalarRef):
+        name = ref.symbol.name
+        if name in self._env:
+            v = self._env[name]
+            return v, isinstance(v, int)
+        wp = self.plan.scalar_phase.get(name)
+        if wp is not None:
+            if self.cur_repl and not self.plan.scalar_repl[name]:
+                # a replicated reader runs on every rank, but an
+                # owner-written scalar is only valid on each column's
+                # owner — the other ranks would fetch
+                raise _Bail(f"replicated read of owner scalar {name}")
+            if wp > self.phase:
+                raise _Bail(f"scalar {name} carried across columns")
+            vec = self.scalar_shadow[wp].get(name)
+            if vec is None:
+                # read before the first in-column write: the value
+                # would flow in from a previous column
+                raise _Bail(f"scalar {name} read before its definition")
+            vec = self._expand(vec, wp)
+            return vec, vec.dtype.kind in "bi"
+        if self.cur_repl:
+            # a replicated statement evaluates on every rank with its
+            # own copy: all copies must be valid and identical for one
+            # vectorized evaluation to stand in for all of them
+            cached = self.repl_cache.get(name)
+            if cached is None:
+                vals = []
+                for memory in self.plan.sim.memories:
+                    if not memory.scalar_is_valid(name):
+                        raise _Bail(f"scalar {name} read would fetch")
+                    vals.append(memory.scalars[name])
+                kinds = {isinstance(v, int) for v in vals}
+                if len(kinds) != 1:
+                    raise _Bail(f"scalar {name} mixes types across ranks")
+                if any(v != vals[0] for v in vals[1:]):
+                    raise _Bail(f"scalar {name} differs across ranks")
+                cached = (vals[0], kinds.pop())
+                self.repl_cache[name] = cached
+            return cached
+        cached = self.scalar_cache.get(name)
+        if cached is None:
+            memories = self.plan.sim.memories
+            values = {}
+            for r in self.cols_of:
+                if not memories[r].scalar_is_valid(name):
+                    raise _Bail(f"scalar {name} read would fetch")
+                values[r] = memories[r].scalars[name]
+            kinds = {isinstance(v, int) for v in values.values()}
+            if len(kinds) != 1:
+                raise _Bail(f"scalar {name} mixes types across ranks")
+            is_int = kinds.pop()
+            vec = np.empty(self.nj, dtype=np.int64 if is_int else np.float64)
+            for r, cols in self.cols_of.items():
+                vec[cols] = values[r]
+            cached = (vec, is_int)
+            self.scalar_cache[name] = cached
+        vec, is_int = cached
+        if self.phase == self.BODY:
+            vec = np.repeat(vec, self.widths)
+        return vec, is_int
+
+    def _gather(self, name: str, off, owner: np.ndarray):
+        """Each lane reads its column owner's copy; any invalid element
+        would fetch per-iteration, so the takeover declines."""
+        memories = self.plan.sim.memories
+        nl = owner.size
+        offv = tuple(
+            np.broadcast_to(np.asarray(o, dtype=np.int64), (nl,))
+            for o in off
+        )
+        out = np.empty(nl, dtype=memories[0].array_dtype(name))
+        for r in np.unique(owner):
+            lanes = np.nonzero(owner == r)[0]
+            sel = tuple(o[lanes] for o in offv)
+            memory = memories[int(r)]
+            if not bool(np.all(memory.valid[name][sel])):
+                raise _Bail(f"array {name} read would fetch")
+            out[lanes] = memory.arrays[name][sel]
+        return out, out.dtype.kind in "bi"
+
+    def read_array(self, ref: ArrayElemRef):
+        name = ref.symbol.name
+        rk = self.plan.read_region.get(ref.ref_id)
+        if rk is not None:
+            vec = self.array_shadow.get(rk)
+            if vec is not None:
+                return vec, vec.dtype.kind in "bi"
+            # read before this lane's write: pre-state (regions are
+            # injective per column, columns are disjoint)
+        off = self.offs[ref.ref_id]
+        owner = self.rank_flat if self.phase == self.BODY else self.exec_col
+        return self._gather(name, off, owner)
+
+    def process(self, st: _Step) -> None:
+        self.cur_repl = st.repl
+        value, is_int = _eval(st.rhs, self)
+        vec = _coerce_vec(value, is_int, st.stype, self._lanes())
+        if st.kind == "array":
+            self.array_shadow[st.region_key] = vec
+        else:
+            self.scalar_shadow[self.phase][st.name] = vec
+        self.tape[self.phase].append(st.dt)
+
+
+class TriangularPlan:
+    """One takeover for a whole imperfect nest whose inner bounds may be
+    affine in the outer variable: per-column slab widths vary with the
+    outer index (triangular nests).  The outer iterations are columns
+    executed on their owner rank; prologue/epilogue statements get one
+    lane per column, the inner body one lane per (outer, inner)
+    instance, flattened.  Exact because every reference touches only
+    its own column and regions are injective within it — anything
+    runtime-dependent (validity, bounds, widths, region overlap) bails
+    to tier 2 before any mutation."""
+
+    def __init__(self, slab: "SlabExecutor", loop: LoopStmt):
+        sim = slab.sim
+        fast = slab.fast
+        self.sim = sim
+        self.fast = fast
+        self.loop = loop
+        self.j = loop.var.name
+        if sim.grid.rank != 1:
+            raise _Bail("grid is not one-dimensional")
+        inner = None
+        pre: list[_Step] = []
+        post: list[_Step] = []
+
+        def make_step(stmt) -> _Step:
+            dt = fast._dt.get(stmt.stmt_id)
+            if dt is None:
+                raise _Bail("statement not lowered")
+            if stmt.stmt_id in sim._reduction_updates:
+                raise _Bail("reduction update in body")
+            st = _Step(stmt, dt)
+            st.kind = (
+                "array" if isinstance(stmt.lhs, ArrayElemRef) else "scalar"
+            )
+            info = sim.compiled.executors.get(stmt.stmt_id)
+            st.repl = sim._runs_everywhere(stmt) or _replicated_exec(info)
+            if st.repl:
+                if st.kind == "array":
+                    raise _Bail("replicated statement writes an array")
+                for ref in stmt.rhs.refs():
+                    if isinstance(ref, ArrayElemRef):
+                        raise _Bail("replicated statement reads an array")
+            return st
+
+        for stmt in loop.body:
+            if isinstance(stmt, ContinueStmt):
+                continue
+            if isinstance(stmt, LoopStmt):
+                if inner is not None:
+                    raise _Bail("more than one inner loop")
+                inner = stmt
+                continue
+            if not isinstance(stmt, AssignStmt):
+                raise _Bail("non-assign in body")
+            (pre if inner is None else post).append(make_step(stmt))
+        if inner is None:
+            raise _Bail("no inner loop")
+        if inner.stmt_id in sim._reductions_by_loop:
+            raise _Bail("inner loop combines a reduction")
+        self.inner = inner
+        self.i = inner.var.name
+        body: list[_Step] = []
+        for stmt in inner.body:
+            if isinstance(stmt, ContinueStmt):
+                continue
+            if not isinstance(stmt, AssignStmt):
+                raise _Bail("non-assign in inner body")
+            body.append(make_step(stmt))
+        if not body:
+            raise _Bail("empty inner body")
+        self.pre, self.body, self.post = pre, body, post
+        phased = [
+            (st, ph)
+            for ph, steps in ((0, pre), (1, body), (2, post))
+            for st in steps
+        ]
+        # canonical executor position of the owner-positioned statements
+        # (identical across them, a function of j only); replicated
+        # statements run on every rank and carry no position
+        self.pos_form = None
+        self.pos_fmt = None
+        canon = _MISSING
+        for st, _ph in phased:
+            if st.repl:
+                continue
+            info = sim.compiled.executors.get(st.sid)
+            if info is None or info.kind != "owner" or len(info.position) != 1:
+                raise _Bail("executor is not a 1-D owner position")
+            dim = info.position[0]
+            if dim.kind != "pos" or dim.form is None or dim.fmt is None:
+                raise _Bail("executor position is not a point")
+            c = _canon_form(dim.form)
+            if canon is _MISSING:
+                canon = c
+                self.pos_form = dim.form
+                self.pos_fmt = dim.fmt
+            elif c != canon:
+                raise _Bail("executor position differs across statements")
+        if canon is _MISSING:
+            raise _Bail("no owner-positioned statement")
+        # written names; write regions (body only) like InnerPlan's
+        self.scalar_phase: dict[str, int] = {}
+        self.scalar_repl: dict[str, bool] = {}
+        self.regions: dict[tuple, _WrittenArray] = {}
+        self.written_arrays: dict[str, list[tuple]] = {}
+        self.read_region: dict[int, tuple] = {}
+        self.disjoint_reads: list[int] = []
+        self.ref_forms: dict[int, tuple] = {}
+        for st, ph in phased:
+            if st.kind == "scalar":
+                got = self.scalar_phase.setdefault(st.name, ph)
+                if got != ph:
+                    raise _Bail("scalar written in two phases")
+                was = self.scalar_repl.setdefault(st.name, st.repl)
+                if was != st.repl:
+                    raise _Bail("scalar written by mixed executor kinds")
+                continue
+            if ph != 1:
+                raise _Bail("array written outside the inner loop")
+            forms = [affine_form(s) for s in st.stmt.lhs.subscripts]
+            if any(f is None for f in forms):
+                raise _Bail("non-affine store subscript")
+            for f in forms:
+                _check_form_resolvable(f, (self.i, self.j))
+            canon = tuple(_canon_form(f) for f in forms)
+            key = (st.name, canon)
+            info = self.regions.get(key)
+            if info is None:
+                if not any(
+                    f.coeff(sym) != 0
+                    for f in forms
+                    for sym in f.symbols
+                    if sym.name == self.i and sym.value is None
+                ):
+                    raise _Bail("store not injective in the inner var")
+                info = _WrittenArray(
+                    st.stmt.lhs.symbol, forms, canon, st.stmt.lhs.ref_id
+                )
+                self.regions[key] = info
+                self.written_arrays.setdefault(st.name, []).append(key)
+            info.write_steps.append(ph)  # phase, only the count matters
+            st.region_key = key
+            self.ref_forms[st.stmt.lhs.ref_id] = (st.stmt.lhs.symbol, forms)
+        for st, ph in phased:
+            for ref in st.rhs.refs():
+                if not isinstance(ref, ArrayElemRef):
+                    continue
+                name = ref.symbol.name
+                forms = [affine_form(s) for s in ref.subscripts]
+                if any(f is None for f in forms):
+                    raise _Bail("non-affine read subscript")
+                vars_ok = (self.i, self.j) if ph == 1 else (self.j,)
+                for f in forms:
+                    _check_form_resolvable(f, vars_ok)
+                    if ph != 1 and any(
+                        sym.name == self.i and sym.value is None
+                        for sym in _form_symbols(f)
+                    ):
+                        raise _Bail("inner index outside the inner loop")
+                if name in self.written_arrays:
+                    if ph != 1:
+                        raise _Bail("written array read outside the body")
+                    canon = tuple(_canon_form(f) for f in forms)
+                    key = (name, canon)
+                    if key in self.regions:
+                        self.read_region[ref.ref_id] = key
+                    else:
+                        self.disjoint_reads.append(ref.ref_id)
+                self.ref_forms[ref.ref_id] = (ref.symbol, forms)
+        # the executor position may only depend on j (and constants)
+        for sym, _c in self.pos_form.coeffs:
+            if sym.value is None and sym.name != self.j:
+                if not sym.is_loop_var or sym.name in self.scalar_phase:
+                    raise _Bail("executor position not a column function")
+        # inner bounds: affine in j (triangular), free of the inner
+        # variable and of anything the takeover writes
+        self.low_form = affine_form(inner.low)
+        self.high_form = affine_form(inner.high)
+        if self.low_form is None or self.high_form is None:
+            raise _Bail("inner bounds not affine")
+        for form in (self.low_form, self.high_form):
+            for sym, _c in form.coeffs:
+                if sym.value is None and (
+                    sym.name == self.i or sym.name in self.scalar_phase
+                ):
+                    raise _Bail("inner bounds vary during the takeover")
+
+    # ------------------------------------------------------------------
+
+    def prepare(self, low: int, high: int, step: int, env) -> Callable:
+        nj = (high - low + step) // step
+        sim = self.sim
+        if nj <= 0:
+            def commit_empty():
+                pass
+            return commit_empty
+        jvec = low + step * np.arange(nj, dtype=np.int64)
+        pos = _affine_vec(self.pos_form, {self.j: jvec}, env)
+        pos = np.asarray(pos, dtype=np.int64)
+        if pos.ndim == 0:
+            pos = np.full(nj, int(pos), dtype=np.int64)
+        fmt = self.pos_fmt
+        if pos.size and (int(pos.min()) < 0 or int(pos.max()) >= fmt.extent):
+            raise _Bail("executor position out of range")
+        owner = np.asarray(self.fast.etables.owner_table(fmt), dtype=np.int64)
+        coord = owner[pos]
+        rank_of = np.asarray(
+            [sim.grid.rank_of((c,)) for c in range(sim.grid.shape[0])],
+            dtype=np.int64,
+        )
+        exec_col = rank_of[coord]
+        cols_of = {
+            int(r): np.nonzero(exec_col == r)[0]
+            for r in np.unique(exec_col)
+        }
+        # per-column inner bounds — the triangular part
+        try:
+            si = (
+                self.fast.eval_bound(self.inner.step, env)
+                if self.inner.step is not None
+                else 1
+            )
+        except _Bail:
+            raise
+        except Exception:
+            raise _Bail("inner bounds not evaluable") from None
+        if si == 0:
+            raise _Bail("zero inner step")
+        si = int(si)
+        jvar = {self.j: jvec}
+        li = np.broadcast_to(
+            np.asarray(_affine_vec(self.low_form, jvar, env)), (nj,)
+        ).astype(np.int64)
+        hi = np.broadcast_to(
+            np.asarray(_affine_vec(self.high_form, jvar, env)), (nj,)
+        ).astype(np.int64)
+        widths = (hi - li + si) // si
+        if bool((widths <= 0).any()):
+            # a column with no inner iterations still runs its prologue
+            # and epilogue; keep the uncommon shape on tier 2
+            raise _Bail("empty inner slab")
+        nflat = int(widths.sum())
+        seg_start = np.cumsum(widths) - widths
+        jflat = np.repeat(jvec, widths)
+        iflat = np.repeat(li, widths) + si * (
+            np.arange(nflat, dtype=np.int64) - np.repeat(seg_start, widths)
+        )
+        # lane offsets for every reference
+        offs: dict[int, tuple] = {}
+        by_key: dict[tuple, tuple] = {}
+        body_ids = {
+            r.ref_id
+            for st in self.body
+            for r in ([st.stmt.lhs] if st.kind == "array" else [])
+            + [x for x in st.rhs.refs() if isinstance(x, ArrayElemRef)]
+        }
+        for ref_id, (symbol, forms) in self.ref_forms.items():
+            in_body = ref_id in body_ids
+            key = (
+                symbol.name,
+                in_body,
+                tuple(_canon_form(f) for f in forms),
+            )
+            got = by_key.get(key)
+            if got is None:
+                vec_vars = (
+                    {self.i: iflat, self.j: jflat}
+                    if in_body
+                    else {self.j: jvec}
+                )
+                got = tuple(
+                    _bounds_checked_offset(
+                        _affine_vec(f, vec_vars, env), symbol, d
+                    )
+                    for d, f in enumerate(forms)
+                )
+                by_key[key] = got
+            offs[ref_id] = got
+        if len(self.regions) > 1 or self.disjoint_reads:
+            def flat_of(ref_id):
+                symbol, _forms = self.ref_forms[ref_id]
+                shape = tuple(
+                    symbol.extent(d) for d in range(symbol.rank)
+                )
+                idx = tuple(
+                    np.broadcast_to(np.asarray(o, dtype=np.int64), (nflat,))
+                    for o in offs[ref_id]
+                )
+                return np.ravel_multi_index(idx, shape)
+
+            wflats = {
+                key: flat_of(info.ref0)
+                for key, info in self.regions.items()
+            }
+            for name, keys in self.written_arrays.items():
+                for a in range(len(keys)):
+                    for b in range(a + 1, len(keys)):
+                        if np.intersect1d(
+                            wflats[keys[a]], wflats[keys[b]]
+                        ).size:
+                            raise _Bail("write regions overlap")
+            for ref_id in self.disjoint_reads:
+                symbol, _forms = self.ref_forms[ref_id]
+                rflat = flat_of(ref_id)
+                for key in self.written_arrays[symbol.name]:
+                    if np.intersect1d(rflat, wflats[key]).size:
+                        raise _Bail("read overlaps writes across lanes")
+        ctx = _TriCtx(
+            self, jvec, iflat, jflat, widths, env, exec_col, cols_of, offs
+        )
+        with np.errstate(over="ignore", invalid="ignore"):
+            for st in self.pre:
+                ctx.process(st)
+            ctx.phase = ctx.BODY
+            for st in self.body:
+                ctx.process(st)
+            ctx.phase = ctx.POST
+            for st in self.post:
+                ctx.process(st)
+
+        def commit():
+            memories = sim.memories
+            clocks = sim.clocks
+            # each rank's tier-2 tape: its own columns run every
+            # statement, foreign columns only the replicated ones
+            own = tuple(
+                np.asarray([st.dt for st in steps], dtype=np.float64)
+                for steps in (self.pre, self.body, self.post)
+            )
+            foreign = tuple(
+                np.asarray(
+                    [st.dt for st in steps if st.repl], dtype=np.float64
+                )
+                for steps in (self.pre, self.body, self.post)
+            )
+            if any(f.size for f in foreign):
+                ranks = range(len(memories))
+            else:
+                ranks = cols_of
+            for r in ranks:
+                parts = []
+                for c in (
+                    range(nj) if ranks is not cols_of else cols_of[r]
+                ):
+                    pre_dts, body_dts, post_dts = (
+                        own if int(exec_col[c]) == r else foreign
+                    )
+                    parts.append(pre_dts)
+                    parts.append(np.tile(body_dts, int(widths[c])))
+                    parts.append(post_dts)
+                seq = np.concatenate(parts) if parts else own[0][:0]
+                if seq.size:
+                    clocks.charge_compute_tape(r, seq)
+            many = sim.grid.size > 1
+            rank_flat = ctx.rank_flat
+            for key, info in self.regions.items():
+                name = key[0]
+                off = offs[info.ref0]
+                offv = tuple(
+                    np.broadcast_to(np.asarray(o, dtype=np.int64), (nflat,))
+                    for o in off
+                )
+                nw = len(info.write_steps)
+                shadow = ctx.array_shadow[key]
+                for r in cols_of:
+                    lanes = np.nonzero(rank_flat == r)[0]
+                    sel = tuple(o[lanes] for o in offv)
+                    memory = memories[r]
+                    memory.arrays[name][sel] = shadow[lanes]
+                    memory.valid[name][sel] = True
+                    memory.versions[name] += lanes.size * nw
+                if many:
+                    # every write instance invalidates each non-owner
+                    for r2, memory in enumerate(memories):
+                        lanes = np.nonzero(rank_flat != r2)[0]
+                        if not lanes.size:
+                            continue
+                        sel = tuple(o[lanes] for o in offv)
+                        memory.valid[name][sel] = False
+                        memory.versions[name] += lanes.size * nw
+            last_rank = int(exec_col[-1])
+            for name, wp in self.scalar_phase.items():
+                vec = ctx.scalar_shadow[wp].get(name)
+                if vec is None:
+                    continue
+                if self.scalar_repl[name]:
+                    # every rank executed every write; all copies end
+                    # valid, holding the last column's value
+                    v = vec[-1].item()
+                    for memory in memories:
+                        memory.scalar_store(name, v)
+                    continue
+                for r, cols in cols_of.items():
+                    c = int(cols[-1])
+                    lane = int(ctx.seg_end[c]) if wp == 1 else c
+                    memories[r].scalar_store(name, vec[lane].item())
+                if many:
+                    for r2, memory in enumerate(memories):
+                        if r2 != last_rank:
+                            memory.scalar_invalidate(name)
+            if self.i not in env:
+                # the walker's per-iteration epilogue leaves the inner
+                # index at the last column's final value
+                env[self.i] = int(li[-1] + widths[-1] * si)
+            sim.slab_instances += nj * (
+                len(self.pre) + len(self.post)
+            ) + nflat * len(self.body)
+
+        return commit
+
+
 # ---------------------------------------------------------------------------
 # Executor
 # ---------------------------------------------------------------------------
@@ -1547,6 +2577,17 @@ class SlabExecutor:
             )
         self.report = report
         self._plans: dict[int, Any] = {}
+        self._eligible = report.eligible_loops()
+        #: satellite fix for the DGEFA regression: a program whose
+        #: report has no eligible nest at all pays nothing per loop
+        #: entry (one flag check instead of a plan lookup + prepare)
+        self.enabled = bool(self._eligible)
+        #: per-loop consecutive prepare bails; a nest that bails this
+        #: many times without ever committing is demoted to tier 2 for
+        #: the rest of the run (prepare overhead was pure loss)
+        self._bail_counts: dict[int, int] = {}
+        self._committed: set[int] = set()
+        self.GIVE_UP_AFTER = 8
 
     def _record_bail(self, stmt: LoopStmt, reason: str) -> None:
         sim = self.sim
@@ -1569,6 +2610,8 @@ class SlabExecutor:
                 return InnerPlan(self, stmt)
             if self.report.column.get(sid) == "ok":
                 return ColumnPlan(self, stmt)
+            if getattr(self.report, "triangular", {}).get(sid) == "ok":
+                return TriangularPlan(self, stmt)
         except _Bail as bail:
             self._record_bail(stmt, str(bail))
             return None
@@ -1577,12 +2620,29 @@ class SlabExecutor:
             return None
         return None
 
+    def _decide(self, sid: int, choice: str) -> None:
+        sim = self.sim
+        if sim.tier_decisions.get(sid) != choice:
+            sim.tier_decisions[sid] = choice
+        if sim.metrics is not None:
+            sim.metrics.inc(f"tier.decision[loop=S{sid},choice={choice}]")
+
     def run_loop(self, stmt: LoopStmt, low: int, high: int, step: int,
                  env) -> bool:
-        plan = self._plans.get(stmt.stmt_id, _MISSING)
+        if not self.enabled:
+            return False
+        sid = stmt.stmt_id
+        sim = self.sim
+        approved = sim._tier_approved
+        if approved is not None and sid not in approved:
+            if sid in self._eligible:
+                # the TierPlan predicted tier 2 to win here
+                self._decide(sid, "lowered")
+            return False
+        plan = self._plans.get(sid, _MISSING)
         if plan is _MISSING:
             plan = self._build(stmt)
-            self._plans[stmt.stmt_id] = plan
+            self._plans[sid] = plan
         if plan is None:
             return False
         # Phase A (prepare) mutates nothing: a bail or a numeric-domain
@@ -1592,19 +2652,28 @@ class SlabExecutor:
             commit = plan.prepare(low, high, step, env)
         except _Bail as bail:
             self._record_bail(stmt, str(bail))
+            self._decide(sid, "lowered")
+            if sid not in self._committed:
+                bails = self._bail_counts.get(sid, 0) + 1
+                self._bail_counts[sid] = bails
+                if bails >= self.GIVE_UP_AFTER:
+                    # never succeeded: stop paying prepare per entry
+                    self._plans[sid] = None
             return False
         except (ArithmeticError, ValueError, OverflowError):
             self._record_bail(stmt, "prepare error")
+            self._decide(sid, "lowered")
             return False
         # Phase B (commit) is outside the net: a failure here would mean
         # corrupted state and must surface, not silently re-execute.
         commit()
-        sim = self.sim
+        self._committed.add(sid)
+        self._decide(sid, "slab")
         if sim.metrics is not None:
-            sim.metrics.inc(f"slab.takeover[loop=S{stmt.stmt_id}]")
+            sim.metrics.inc(f"slab.takeover[loop=S{sid}]")
         if sim.tracer.enabled:
             sim.tracer.instant(
-                "slab.takeover", cat="sim", loop=stmt.stmt_id, low=low,
+                "slab.takeover", cat="sim", loop=sid, low=low,
                 high=high, step=step,
             )
         return True

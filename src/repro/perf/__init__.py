@@ -3,18 +3,24 @@
 from .memory import MemoryReport, memory_report
 from .estimator import (
     EventCost,
+    NestCost,
     PerfEstimate,
     PerfEstimator,
     StmtCost,
     estimate_performance,
 )
+from .tierplan import NestDecision, TierPlan, build_tierplan
 
 __all__ = [
     "MemoryReport",
     "memory_report",
     "EventCost",
+    "NestCost",
     "PerfEstimate",
     "PerfEstimator",
     "StmtCost",
     "estimate_performance",
+    "NestDecision",
+    "TierPlan",
+    "build_tierplan",
 ]

@@ -33,6 +33,62 @@ from ..ir.expr import ArrayElemRef, Const, Expr, ScalarRef, affine_form
 from ..ir.stmt import AssignStmt, IfStmt, LoopStmt, Stmt
 
 
+def _power_sum(p: int, m: int) -> int:
+    """Faulhaber: Σ_{t=1}^{m} t^p for p ≤ 4."""
+    if m <= 0:
+        return 0
+    if p == 0:
+        return m
+    if p == 1:
+        return m * (m + 1) // 2
+    if p == 2:
+        return m * (m + 1) * (2 * m + 1) // 6
+    if p == 3:
+        return (m * (m + 1) // 2) ** 2
+    if p == 4:
+        return m * (m + 1) * (2 * m + 1) * (3 * m * m + 3 * m - 1) // 30
+    raise ValueError(f"no power-sum formula for p={p}")
+
+
+def _clamped_poly_sum(
+    factors: list[tuple[int, int]], n: int
+) -> int | None:
+    """Σ_{t=0}^{n-1} Π_i max(0, m0_i + q_i·t), exactly.
+
+    Each factor is a trip count clamped at zero; a factor's zero range
+    zeroes the whole product (no iterations → no inner instances), so
+    the sum runs over the intersection of the positive ranges, where
+    the product is a plain polynomial summed by Faulhaber's formulas.
+    ``None`` when the degree exceeds the table (≥ 5 correlated loops).
+    """
+    tlo, thi = 0, n - 1
+    coeffs = [1]  # polynomial in t, ascending powers
+    for m0, q in factors:
+        if q == 0:
+            if m0 <= 0:
+                return 0
+            coeffs = [c * m0 for c in coeffs]
+            continue
+        if len(coeffs) > 4:
+            return None
+        if q > 0:
+            tlo = max(tlo, -((m0 - 1) // q))  # ceil((1 - m0) / q)
+        else:
+            thi = min(thi, (1 - m0) // q)
+        prod = [0] * (len(coeffs) + 1)
+        for p, c in enumerate(coeffs):
+            prod[p] += c * m0
+            prod[p + 1] += c * q
+        coeffs = prod
+    if tlo > thi:
+        return 0
+    total = coeffs[0] * (thi - tlo + 1)
+    for p in range(1, len(coeffs)):
+        if coeffs[p]:
+            total += coeffs[p] * (_power_sum(p, thi) - _power_sum(p, tlo - 1))
+    return total
+
+
 @dataclass
 class StmtCost:
     stmt: Stmt
@@ -49,6 +105,28 @@ class EventCost:
     elements: float
     time_per_instance: float
     time: float
+
+
+@dataclass
+class NestCost:
+    """Predicted host-side execution time of one loop nest under the
+    tier-2 lowered interpreter vs the tier-3 slab engine (see
+    docs/COSTMODEL.md: the per-nest inequality the tierplan pass
+    decides with)."""
+
+    loop_id: int
+    #: dynamic statement instances inside the nest, whole program run
+    instances: float
+    #: times the nest's header is entered (prepare attempts)
+    entries: float
+    #: assignment statements in the nest body
+    stmts: int
+    tier2_time: float
+    tier3_time: float
+
+    @property
+    def slab_wins(self) -> bool:
+        return self.tier3_time < self.tier2_time
 
 
 @dataclass
@@ -96,6 +174,12 @@ class PerfEstimator:
         self.pipelined_shifts = pipelined_shifts
         self._trip_cache: dict[int, float] = {}
         self._midpoint_cache: dict[str, float] = {}
+        #: var name -> (first value, step, trip count) of its loop —
+        #: the arithmetic progression a triangular bound sums over
+        self._range_cache: dict[str, tuple[float, float, float]] = {}
+        #: loop id -> (driving var, m0, q): the loop's per-iteration
+        #: trips are max(0, m0 + q·t) over the driver's t-th iteration
+        self._tri_cache: dict[int, tuple[str, int, int]] = {}
 
     # ==================================================================
     # Trip counts
@@ -136,17 +220,152 @@ class PerfEstimator:
             if step == 0:
                 raise AnalysisError("loop step of zero")
         trip = max(0.0, math.floor((high - low + step) / step))
+        tri = self._triangular_terms(loop, step)
+        if tri is not None:
+            vname, m0, q, mean = tri
+            trip = mean
+            self._tri_cache[loop.stmt_id] = (vname, m0, q)
         self._trip_cache[loop.stmt_id] = trip
         self._midpoint_cache[loop.var.name] = (low + high) / 2.0
+        self._range_cache[loop.var.name] = (low, step, trip)
         return trip
 
+    def _triangular_terms(self, loop: LoopStmt, step: float):
+        """Exact trips when the bounds are affine in exactly one
+        enclosing loop variable (DGEFA's ``DO i = k+1, n``): the
+        per-iteration trips form a clamped arithmetic progression
+        max(0, m0 + q·t) over the driver's t-th iteration, so the
+        n(n±1)/2 closed form replaces the midpoint approximation —
+        which floors the *average* bound and so drifts by up to half an
+        iteration per level.  Returns ``(driver, m0, q, mean)``, or
+        ``None`` when the shape (or non-integral bounds) demands the
+        midpoint fallback."""
+        low_form = affine_form(loop.low)
+        high_form = affine_form(loop.high)
+        if low_form is None or high_form is None:
+            return None
+        # high - low + step, split into a·v + b over the one unresolved
+        # variable v
+        coeffs: dict[str, float] = {}
+        b = step
+        for form, sign in ((high_form, 1.0), (low_form, -1.0)):
+            b += sign * form.const
+            for sym, coeff in form.coeffs:
+                if sym.value is not None:
+                    b += sign * coeff * sym.value
+                else:
+                    coeffs[sym.name] = coeffs.get(sym.name, 0.0) + sign * coeff
+        coeffs = {k: v for k, v in coeffs.items() if v != 0}
+        if len(coeffs) != 1:
+            return None  # rectangular (exact already) or too entangled
+        ((vname, a),) = coeffs.items()
+        if vname not in (o.var.name for o in loop.loops_enclosing()):
+            # the variable is some finished loop's leftover value, not a
+            # range this loop sweeps over — midpoint is all we have
+            return None
+        rng = self._range_cache.get(vname)
+        if rng is None:
+            return None
+        vlow, vstep, vtrip = rng
+        values = (a, b, vlow, vstep, vtrip, step)
+        if any(x != int(x) for x in values) or vtrip <= 0:
+            return None
+        a, b, vlow, vstep, vtrip, step = (int(x) for x in values)
+        # trips(t) = max(0, (a·(vlow + vstep·t) + b) // step) for
+        # t = 0..vtrip-1 — arithmetic in t only if step divides a·vstep
+        if (a * vstep) % step != 0:
+            return None
+        q = (a * vstep) // step
+        m0 = (a * vlow + b) // step
+        total = _clamped_poly_sum([(m0, q)], vtrip)
+        if total is None:
+            return None
+        return vname, m0, q, total / vtrip
+
     def _instances(self, stmt: Stmt, up_to_level: int | None = None) -> float:
-        total = 1.0
+        enclosing = []
         for loop in stmt.loops_enclosing():
             if up_to_level is not None and loop.level > up_to_level:
                 break
-            total *= self.trip_count(loop)
+            self.trip_count(loop)  # populate the triangular caches
+            enclosing.append(loop)
+        # Triangular trips driven by the same variable are correlated
+        # (DGEFA's update nest: both J and I sweep n−k elements), so a
+        # product of their means undercounts; sum the product of their
+        # arithmetic progressions over the driver's range instead.
+        groups: dict[str, list[LoopStmt]] = {}
+        plain: list[LoopStmt] = []
+        for loop in enclosing:
+            tri = self._tri_cache.get(loop.stmt_id)
+            if tri is not None:
+                groups.setdefault(tri[0], []).append(loop)
+            else:
+                plain.append(loop)
+        total = 1.0
+        for loop in plain:
+            members = groups.pop(loop.var.name, None)
+            exact = None
+            if members is not None:
+                _vlow, _vstep, vtrip = self._range_cache[loop.var.name]
+                if vtrip == int(vtrip) and vtrip > 0:
+                    factors = [
+                        self._tri_cache[m.stmt_id][1:] for m in members
+                    ]
+                    exact = _clamped_poly_sum(factors, int(vtrip))
+            if exact is not None:
+                total *= exact
+            else:
+                total *= self.trip_count(loop)
+                for m in members or ():
+                    total *= self.trip_count(m)
+        # groups whose driver is itself triangular (or out of scope):
+        # correlation is beyond the closed forms, use mean trips
+        for members in groups.values():
+            for m in members:
+                total *= self.trip_count(m)
         return total
+
+    # ==================================================================
+    # Per-nest tier costs
+    # ==================================================================
+
+    #: host-side cost constants (seconds), calibrated against the
+    #: executing simulator on this interpreter — only their *ratios*
+    #: steer the tier choice, so rough is fine
+    C_T2_STMT = 4e-6  #: one lowered-closure statement dispatch
+    C_PREP = 6e-5  #: one slab prepare/commit attempt (fixed overhead)
+    C_VEC = 2e-5  #: one vectorized statement evaluation (ufunc setup)
+    C_ELEM = 1.5e-8  #: one slab lane of one statement
+
+    def nest_cost(self, loop: LoopStmt) -> NestCost:
+        """Predict tier-2 vs tier-3 time for one takeover-candidate
+        nest.  Tier 2 dispatches a closure per statement instance; tier
+        3 pays a fixed prepare/commit per entry of ``loop``, a ufunc
+        setup per statement per entry, and a per-lane cost.  Both sides
+        use the estimator's (triangular-exact) trip counts, so the
+        comparison is between the same instance totals."""
+        body = [
+            stmt
+            for stmt in loop.walk()
+            if isinstance(stmt, (AssignStmt, IfStmt))
+        ]
+        instances = sum(self._instances(stmt) for stmt in body)
+        entries = self._instances(loop)
+        stmts = len(body)
+        tier2 = self.C_T2_STMT * instances
+        tier3 = (
+            self.C_PREP * entries
+            + self.C_VEC * stmts * entries
+            + self.C_ELEM * instances
+        )
+        return NestCost(
+            loop_id=loop.stmt_id,
+            instances=instances,
+            entries=entries,
+            stmts=stmts,
+            tier2_time=tier2,
+            tier3_time=tier3,
+        )
 
     # ==================================================================
     # Computation

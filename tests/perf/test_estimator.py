@@ -174,3 +174,150 @@ class TestPipelinedShiftPricing:
         default = PerfEstimator(compiled).estimate().comm_time
         pipelined = PerfEstimator(compiled, pipelined_shifts=True).estimate().comm_time
         assert pipelined == pytest.approx(default)
+
+
+class TestTriangularExactness:
+    """Loop-variable-dependent bounds price with closed-form
+    n(n±1)/2 sums, validated against exact interpreter instance
+    counts (the walker counts one ``interp_instances`` per executed
+    assignment / condition)."""
+
+    def _walker_instances(self, compiled):
+        from repro.machine import simulate
+
+        return simulate(compiled, fast_path=False).interp_instances
+
+    def _estimated_instances(self, compiled):
+        from repro.ir.stmt import AssignStmt, IfStmt
+
+        est = PerfEstimator(compiled)
+        return sum(
+            est._instances(s)
+            for s in compiled.proc.all_stmts()
+            if isinstance(s, (AssignStmt, IfStmt))
+        )
+
+    def test_upper_triangular_mean_is_exact(self):
+        compiled = compile_body(
+            "  DO i = 1, n\n    DO j = i, n\n      W(i, j) = 0.0\n"
+            "    END DO\n  END DO"
+        )
+        est = PerfEstimator(compiled)
+        loops = list(compiled.proc.loops())
+        est.trip_count(loops[0])
+        # trips are n, n-1, ..., 1: mean exactly (n+1)/2, not floor(...)
+        assert est.trip_count(loops[1]) == (64 + 1) / 2
+
+    def test_lower_triangular_matches_interpreter(self):
+        compiled = compile_body(
+            "  DO i = 1, n\n    DO j = 1, i\n      W(i, j) = 0.0\n"
+            "    END DO\n  END DO",
+            n=11,
+            procs=2,
+        )
+        # sum_{i=1}^{n} i = n(n+1)/2
+        assert self._estimated_instances(compiled) == 11 * 12 / 2
+        assert self._estimated_instances(compiled) == (
+            self._walker_instances(compiled)
+        )
+
+    def test_offset_triangular_matches_interpreter(self):
+        compiled = compile_body(
+            "  DO i = 1, n - 1\n    DO j = i + 1, n\n"
+            "      W(i, j) = 0.0\n    END DO\n  END DO",
+            n=12,
+            procs=2,
+        )
+        # sum_{i=1}^{n-1} (n-i) = n(n-1)/2
+        assert self._estimated_instances(compiled) == 12 * 11 / 2
+        assert self._estimated_instances(compiled) == (
+            self._walker_instances(compiled)
+        )
+
+    def test_clamped_bounds_matches_interpreter(self):
+        # columns past i = 5 have no iterations at all: the clamp at
+        # zero must be per-column, not applied to the average
+        compiled = compile_body(
+            "  DO i = 1, n\n    DO j = i, 5\n      W(i, j) = 0.0\n"
+            "    END DO\n  END DO",
+            n=9,
+            procs=2,
+        )
+        assert self._estimated_instances(compiled) == 5 * 6 / 2
+        assert self._estimated_instances(compiled) == (
+            self._walker_instances(compiled)
+        )
+
+    def test_correlated_triangular_matches_interpreter(self):
+        # DGEFA's update shape: two inner loops both sweeping n-k
+        # elements — a product of independent means undercounts;
+        # the correlated closed form gives sum (n-k)^2 exactly
+        src = (
+            "PROGRAM T\n  PARAMETER (n = 10)\n  REAL A(n,n), B(n,n)\n"
+            "!HPF$ ALIGN (i,j) WITH A(i,j) :: B\n"
+            "!HPF$ DISTRIBUTE (*, BLOCK) :: A\n"
+            "  DO k = 1, n - 1\n    DO j = k + 1, n\n"
+            "      DO i = k + 1, n\n        A(i,j) = A(i,j) + B(i,j)\n"
+            "      END DO\n    END DO\n  END DO\nEND PROGRAM\n"
+        )
+        compiled = compile_source(src, CompilerOptions(num_procs=2))
+        exact = sum((10 - k) ** 2 for k in range(1, 10))
+        assert self._estimated_instances(compiled) == exact
+        assert self._walker_instances(compiled) == exact
+
+    def test_downward_triangular_matches_interpreter(self):
+        compiled = compile_body(
+            "  DO i = 1, n\n    DO j = i, 1, -1\n      W(i, j) = 0.0\n"
+            "    END DO\n  END DO",
+            n=8,
+            procs=2,
+        )
+        assert self._estimated_instances(compiled) == 8 * 9 / 2
+        assert self._estimated_instances(compiled) == (
+            self._walker_instances(compiled)
+        )
+
+
+class TestNestCost:
+    def test_slab_wins_on_large_rectangular_nest(self):
+        compiled = compile_body(
+            "  DO j = 1, n\n    DO i = 1, n\n      W(i, j) = W(i, j) + 1.0\n"
+            "    END DO\n  END DO",
+            n=64,
+        )
+        est = PerfEstimator(compiled)
+        loops = list(compiled.proc.loops())
+        cost = est.nest_cost(loops[1])
+        assert cost.instances == 64 * 64
+        assert cost.entries == 64
+        assert cost.stmts == 1
+        assert cost.slab_wins
+
+    def test_tiny_nest_stays_on_tier2(self):
+        compiled = compile_body(
+            "  DO j = 1, n\n    DO i = 1, 2\n      W(i, j) = W(i, j) + 1.0\n"
+            "    END DO\n  END DO",
+            n=64,
+        )
+        est = PerfEstimator(compiled)
+        loops = list(compiled.proc.loops())
+        cost = est.nest_cost(loops[1])
+        # two lanes per prepare cannot amortize the takeover overhead
+        assert not cost.slab_wins
+
+    def test_outer_takeover_beats_per_iteration_inner(self):
+        src = (
+            "PROGRAM T\n  PARAMETER (n = 24)\n  REAL A(n,n), B(n,n)\n"
+            "!HPF$ ALIGN (i,j) WITH A(i,j) :: B\n"
+            "!HPF$ DISTRIBUTE (*, BLOCK) :: A\n"
+            "  DO j = 2, n - 1\n    DO i = j, n - 1\n"
+            "      A(i,j) = B(i,j) + 1.0\n    END DO\n  END DO\n"
+            "END PROGRAM\n"
+        )
+        compiled = compile_source(src, CompilerOptions(num_procs=2))
+        est = PerfEstimator(compiled)
+        outer, inner = list(compiled.proc.loops())[:2]
+        # one prepare for the whole nest vs one per outer iteration
+        assert est.nest_cost(outer).tier3_time < (
+            est.nest_cost(inner).tier3_time
+        )

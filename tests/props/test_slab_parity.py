@@ -101,6 +101,88 @@ def test_slab_engine_is_bit_for_bit_invisible(case, procs):
     assert lowered.slab_instances == 0
 
 
+TRI_DISTS = [
+    "!HPF$ DISTRIBUTE (*, BLOCK) :: A\n",
+    "!HPF$ DISTRIBUTE (*, CYCLIC) :: A\n",
+]
+
+
+@st.composite
+def triangular_nests(draw):
+    """Imperfect triangular nests in the dgefa mould: inner bounds
+    depend on the outer loop variable, with optional scalar prologue
+    and epilogue statements and an optional reduction into one element
+    of the owned column."""
+    n = draw(st.integers(min_value=8, max_value=12))
+    dist = draw(st.sampled_from(TRI_DISTS))
+    lower = draw(st.booleans())
+    prologue = draw(st.booleans())
+    epilogue = draw(st.booleans())
+    col_reduce = draw(st.booleans())
+    irange = "j, n - 1" if lower else "2, j"
+    lines = []
+    if prologue:
+        lines.append("    S = 0.5 * j")
+    lines.append(f"    DO i = {irange}")
+    if col_reduce:
+        # reduction into one element of the owned column, dgefa-style:
+        # A appears only as the fold accumulator
+        lines.append(
+            "      C(i,j) = B(i,j) * 1.25 + S" if prologue
+            else "      C(i,j) = B(i,j) * 1.25 + C(i,j)"
+        )
+        lines.append("      A(1,j) = A(1,j) + B(i,j)")
+    else:
+        lines.append("      A(i,j) = B(i,j) * 1.25 + C(i,j)")
+        lines.append(
+            "      C(i,j) = A(i,j) + S" if prologue
+            else "      C(i,j) = A(i,j) + B(i,j)"
+        )
+    lines.append("    END DO")
+    if epilogue:
+        lines.append("    T = 1.0 + 0.25 * j")
+    source = (
+        f"PROGRAM R\n  PARAMETER (n = {n})\n"
+        "  REAL A(n,n), B(n,n), C(n,n)\n  REAL S, T\n"
+        "!HPF$ ALIGN (i,j) WITH A(i,j) :: B, C\n"
+        + dist
+        + "  S = 0.0\n  T = 0.0\n"
+        "  DO j = 2, n - 1\n"
+        + "".join(line + "\n" for line in lines)
+        + "  END DO\nEND PROGRAM\n"
+    )
+    return source, n, dist is TRI_DISTS[0]
+
+
+@given(triangular_nests(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_triangular_nests_are_bit_for_bit_invisible(case, procs):
+    source, n, block_dist = case
+    slab, lowered, walker = run_three_ways(source, n, procs)
+    assert_invisible(slab, lowered)
+    assert_invisible(slab, walker)
+    assert lowered.slab_instances == 0
+    if block_dist:
+        # column-block triangular nests are squarely in the classifier's
+        # extended repertoire: the slab path must actually run
+        assert slab.slab_instances > 0
+
+
+@given(triangular_nests(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=15, deadline=None)
+def test_auto_tier_matches_forced_tiers(case, procs):
+    """tier="auto" consults the TierPlan per nest but must stay
+    bit-for-bit identical to every forced tier."""
+    source, n, _ = case
+    rng = np.random.default_rng(n * 31 + procs)
+    inputs = {name: rng.uniform(1, 2, (n, n)) for name in ("A", "B", "C")}
+    compiled = compile_source(source, CompilerOptions(num_procs=procs))
+    auto = simulate(compiled, inputs, tier="auto")
+    walker = simulate(compiled, inputs, tier="interpreted")
+    assert_invisible(auto, walker)
+    assert set(auto.tier_decisions.values()) <= {"slab", "lowered"}
+
+
 @given(st.integers(min_value=1, max_value=5))
 @settings(max_examples=5, deadline=None)
 def test_reduction_slab_keeps_combine_tree(procs):

@@ -88,7 +88,7 @@ class TestSerial:
         (r,) = run_sweep([_job(mode="simulate")], workers=0)
         assert r.ok
         assert r.elapsed > 0
-        assert set(r.canonical_stats) == {"procs", "clocks", "stats"}
+        assert set(r.canonical_stats) == {"procs", "clocks", "stats", "tiers"}
         assert r.messages is not None and r.fetches is not None
 
     def test_compile_mode(self):

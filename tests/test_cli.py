@@ -212,7 +212,7 @@ class TestObsFlags:
         import json
 
         payload = json.loads(first.read_text())
-        assert set(payload) == {"procs", "clocks", "stats"}
+        assert set(payload) == {"procs", "clocks", "stats", "tiers"}
 
     def test_estimate_does_not_mutate_namespace(self, program_file, capsys):
         """The sweep builds fresh options per procs value; the argparse
