@@ -17,6 +17,15 @@ two fresh persistent cache roots:
   must drive the simulator to exactly the clocks and traffic a fresh
   compile does, or the cache is lying.
 
+A third, **batched grid** (simulate mode, 3 processor counts × 7
+machine-parameter variants = 21 points on TOMCATV) gates the batched
+sweep evaluator: run cold through the pool path and cold through
+``mode="batched"``, the batched leg must produce byte-identical
+``canonical_stats`` and finish at least ``--min-batched-speedup``
+(default 5.0) times faster — machine-parameter lanes share one
+lane-vector simulation and the procs axis shares compiles, so ~21
+full jobs collapse to ~3 compiles + 3 simulations.
+
 With ``--inject-crash``, the first timing-grid point's pool worker is
 killed mid-flight (``os._exit``) on its first attempt — the supervisor
 must retry it without losing the point, proving the engine's recovery
@@ -48,8 +57,21 @@ SRC_DIR = REPO_ROOT / "src"
 sys.path.insert(0, str(SRC_DIR))
 
 from repro.core.diskcache import CompileCache  # noqa: E402
+from repro.model import SP2  # noqa: E402
 from repro.programs import dgefa_source, tomcatv_source  # noqa: E402
 from repro.sweep import SweepSpec, run_sweep  # noqa: E402
+
+#: seven machine-parameter ablations around the SP2 baseline — the
+#: lane axis of the batched grid (3 procs x 7 machines = 21 points)
+MACHINE_VARIANTS = (
+    SP2,
+    dataclasses.replace(SP2, name="fast-net", alpha=5e-6, beta=1.0 / 300e6),
+    dataclasses.replace(SP2, name="slow-net", alpha=200e-6, beta=1.0 / 5e6),
+    dataclasses.replace(SP2, name="fast-cpu", flop_time=1.0 / 500e6),
+    dataclasses.replace(SP2, name="slow-cpu", flop_time=1.0 / 5e6),
+    dataclasses.replace(SP2, name="wan", alpha=5e-3, beta=1.0 / 1e6),
+    dataclasses.replace(SP2, name="zero-overhead", stmt_overhead=0.0),
+)
 
 
 def build_jobs(procs, strategies, mode, inject_crash=False):
@@ -111,6 +133,7 @@ def main() -> int:
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--procs", type=int, nargs="+", default=[1, 2, 4, 8])
     parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--min-batched-speedup", type=float, default=5.0)
     parser.add_argument("--cache-dir", default=None)
     parser.add_argument("--stats-out", default=None)
     parser.add_argument("--inject-crash", action="store_true")
@@ -167,8 +190,65 @@ def main() -> int:
         print(f"canonical stats byte-identical across "
               f"{len(stats_jobs)} points")
 
+    # -- batched grid: machine-parameter lanes, one sim per batch ------
+    # 3 procs x 7 machine variants; the batched evaluator should pay
+    # ~3 compiles + 3 lane-vector simulations where the pool path pays
+    # 21 full compile+simulate jobs.  Both legs run cold (fresh cache
+    # roots), and their measurement payloads must be byte-identical.
+    batched_spec = SweepSpec(
+        programs={"tomcatv": lambda p: tomcatv_source(n=24, niter=1, procs=p)},
+        procs=(2, 4, 8),
+        axes={"machine": MACHINE_VARIANTS},
+        mode="simulate",
+    )
+    batched_jobs = batched_spec.jobs()
+    print(f"batched grid: {len(batched_jobs)} simulate-mode points "
+          f"({len(batched_spec.procs)} procs x {len(MACHINE_VARIANTS)} "
+          f"machines)")
+    pool_cache = CompileCache(base_root / "batched-pool")
+    started = time.perf_counter()
+    b_pool = run_sweep(
+        batched_jobs, workers=args.workers, cache=pool_cache,
+        timeout=120, retries=2, backoff=0.05, mode="pool",
+    )
+    t_pool = time.perf_counter() - started
+    batched_cache = CompileCache(base_root / "batched")
+    started = time.perf_counter()
+    b_fast = run_sweep(
+        batched_jobs, workers=args.workers, cache=batched_cache,
+        timeout=120, retries=2, backoff=0.05, mode="batched",
+    )
+    t_batched = time.perf_counter() - started
+
+    for tag, results in (("pool", b_pool), ("batched", b_fast)):
+        if len(results) != len(batched_jobs):
+            failures.append(f"batched grid {tag}: grid points were lost")
+        bad = [r for r in results if not r.ok]
+        if bad:
+            failures.append(f"batched grid {tag}: {len(bad)} failed "
+                            f"point(s), first: {bad[0].error}")
+    off_path = [r.label for r in b_fast if r.worker != "batched"]
+    if off_path:
+        failures.append(f"batched grid: points fell off the fast path: "
+                        f"{off_path[:3]}")
+    if stats_payload(b_pool) != stats_payload(b_fast):
+        failures.append("batched grid: canonical stats differ from the "
+                        "pool path")
+    else:
+        print(f"batched canonical stats byte-identical across "
+              f"{len(batched_jobs)} points")
+    batched_speedup = t_pool / t_batched if t_batched > 0 else float("inf")
+    print(f"pool {t_pool:.3f}s, batched {t_batched:.3f}s -> speedup "
+          f"{batched_speedup:.2f}x (gate: >= "
+          f"{args.min_batched_speedup:.1f}x)")
+    if batched_speedup < args.min_batched_speedup:
+        failures.append(
+            f"batched sweep only {batched_speedup:.2f}x faster than the "
+            f"pool path (need >= {args.min_batched_speedup:.1f}x)"
+        )
+
     if args.verbose:
-        for r in warm + s_warm:
+        for r in warm + s_warm + b_fast:
             print(f"  {r.label:45s} {r.mode:8s} hit={r.cache_hit} "
                   f"worker={r.worker} {r.duration_s * 1e3:7.1f} ms")
 
@@ -188,6 +268,13 @@ def main() -> int:
         "stats_warm_hits": sum(r.cache_hit for r in s_warm),
         "timing_cache": timing_cache.stats_dict(),
         "stats_cache": stats_cache.stats_dict(),
+        "batched_jobs": len(batched_jobs),
+        "batched_machine_variants": len(MACHINE_VARIANTS),
+        "batched_pool_seconds": t_pool,
+        "batched_seconds": t_batched,
+        "batched_speedup": batched_speedup,
+        "min_batched_speedup": args.min_batched_speedup,
+        "batched_compile_dedups": sum(r.compile_dedup for r in b_fast),
         "failures": failures,
     }
     if args.stats_out:

@@ -239,10 +239,17 @@ class Session:
         retries: int = 2,
         backoff: float = 0.1,
         on_result: Callable[[SweepResult], None] | None = None,
+        mode: str = "auto",
     ) -> list[SweepResult]:
         """Run an experiment grid through the sweep engine, sharing the
         session's cache, tracer, and metrics.  ``workers=0`` forces
-        serial in-process execution on the session's pass manager."""
+        serial in-process execution on the session's pass manager.
+        ``mode`` selects the execution strategy: ``"pool"`` runs one
+        job at a time, ``"batched"`` fuses grid points that differ only
+        in machine parameters into lane-vectorized evaluations (and
+        dedupes repeated compiles), ``"auto"`` picks batched exactly
+        when some batch has lanes to fuse — results are identical
+        either way."""
         return run_sweep(
             spec,
             workers=workers,
@@ -254,6 +261,7 @@ class Session:
             tracer=self.tracer,
             metrics=self.metrics,
             on_result=on_result,
+            mode=mode,
         )
 
     # -- bookkeeping -------------------------------------------------------

@@ -72,6 +72,10 @@ def _session(args, num_procs: int | None = None, **kwargs) -> Session:
 
 def _add_compile_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("program", help="mini-HPF source file")
+    _add_option_flags(parser)
+
+
+def _add_option_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--strategy",
         choices=STRATEGIES,
@@ -293,6 +297,110 @@ def cmd_tables(args) -> int:
     return 0
 
 
+def _parse_axis(spec: str):
+    """``--axis FIELD=V1,V2,...`` -> (field, values) with values
+    coerced to the CompilerOptions field's type."""
+    import dataclasses
+
+    field_name, sep, raw = spec.partition("=")
+    field_name = field_name.strip()
+    if not sep or not raw:
+        raise SystemExit(
+            f"--axis expects FIELD=V1,V2,... got {spec!r}"
+        )
+    types = {f.name: f.type for f in dataclasses.fields(CompilerOptions)}
+    if field_name == "machine":
+        raise SystemExit(
+            "--axis machine=... is not supported on the CLI; build a "
+            "SweepSpec with MachineModel variants through repro.Session"
+        )
+    if field_name not in types:
+        raise SystemExit(
+            f"unknown CompilerOptions axis field {field_name!r}; "
+            f"valid: {sorted(types)}"
+        )
+    values = []
+    for token in raw.split(","):
+        token = token.strip()
+        low = token.lower()
+        if low in ("true", "false"):
+            values.append(low == "true")
+        else:
+            try:
+                values.append(int(token))
+            except ValueError:
+                values.append(token)
+    return field_name, tuple(values)
+
+
+def cmd_sweep(args) -> int:
+    import json
+    import os
+
+    session = _session(args)
+    programs = {}
+    for path in args.programs:
+        name = os.path.basename(path) if path != "-" else "stdin"
+        programs[name] = _read_source(path)
+    axes = dict(_parse_axis(spec) for spec in (args.axis or []))
+    spec = SweepSpec(
+        programs=programs,
+        procs=tuple(args.procs) if args.procs else (None,),
+        axes=axes,
+        base=session.options,
+        mode=args.sweep_mode,
+        seed=args.seed,
+    )
+    results = session.sweep(spec, workers=args.workers, mode=args.mode)
+    failed = [r for r in results if not r.ok]
+    if args.json:
+        print(json.dumps([r.as_dict() for r in results], indent=1,
+                         sort_keys=True))
+        return 1 if failed else 0
+    if args.sweep_mode == "estimate":
+        print(f"{'label':40s} {'total':>12} {'compute':>12} {'comm':>12}")
+        for r in results:
+            if r.ok:
+                print(f"{r.label:40s} {r.total_time:>11.4f}s "
+                      f"{r.compute_time:>11.4f}s {r.comm_time:>11.4f}s")
+    elif args.sweep_mode == "simulate":
+        print(f"{'label':40s} {'elapsed':>12} {'msgs':>8} {'fetches':>9} "
+              f"{'slab':>6} {'via':>18}")
+        for r in results:
+            if r.ok:
+                print(f"{r.label:40s} {r.elapsed * 1e3:>9.3f} ms "
+                      f"{r.messages:>8} {r.fetches:>9} "
+                      f"{r.slab_coverage:>6.2f} {r.worker:>18}")
+    else:
+        for r in results:
+            if r.ok:
+                print(f"{r.label}: compiled ok "
+                      f"(grid {r.grid_size}, via {r.worker})")
+    for r in failed:
+        last = r.error.strip().splitlines()[-1] if r.error else "unknown"
+        print(f"{r.label}: FAILED: {last}", file=sys.stderr)
+    dedups = sum(r.compile_dedup for r in results)
+    batched = sum(r.worker == "batched" for r in results)
+    print(f"{len(results)} points ({batched} batched, {dedups} compiles "
+          f"deduped), {len(failed)} failed")
+    return 1 if failed else 0
+
+
+def cmd_calibrate(args) -> int:
+    import json
+
+    from .perf.calibrate import calibrate
+
+    result = calibrate(
+        repeats=args.repeats, verbose=args.verbose
+    )
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=1, sort_keys=True))
+    else:
+        print(result.render())
+    return 0
+
+
 def cmd_cache(args) -> int:
     import json
 
@@ -376,6 +484,58 @@ def build_parser() -> argparse.ArgumentParser:
         "(the CI determinism gate diffs two of these)",
     )
     p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment grid (programs x procs x option axes)",
+    )
+    p_sweep.add_argument(
+        "programs", nargs="+", help="mini-HPF source file(s)"
+    )
+    _add_option_flags(p_sweep)
+    p_sweep.add_argument(
+        "--procs", type=int, nargs="+", default=None,
+        help="processor counts to sweep (default: each source's "
+        "PROCESSORS directive)",
+    )
+    p_sweep.add_argument(
+        "--axis", action="append", metavar="FIELD=V1,V2",
+        help="sweep a CompilerOptions field (repeatable), e.g. "
+        "--axis strategy=selected,producer",
+    )
+    p_sweep.add_argument(
+        "--sweep-mode", choices=["estimate", "simulate", "compile"],
+        default="simulate",
+        help="what each grid point measures (default: simulate)",
+    )
+    p_sweep.add_argument(
+        "--mode", choices=["auto", "pool", "batched"], default="auto",
+        help="execution strategy: batched fuses points differing only "
+        "in machine parameters into one vectorized evaluation "
+        "(default: auto)",
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="pool size for non-batched points (0: serial in-process)",
+    )
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--json", action="store_true",
+        help="print the full result records as JSON",
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="fit the tier-choice cost constants on this host",
+    )
+    p_cal.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repetitions per configuration (min is kept)",
+    )
+    p_cal.add_argument("--json", action="store_true")
+    p_cal.add_argument("--verbose", action="store_true")
+    p_cal.set_defaults(func=cmd_calibrate)
 
     p_cache = sub.add_parser(
         "cache", help="manage the persistent compile cache"

@@ -170,7 +170,14 @@ class SPMDSimulator:
         self.grid = compiled.grid
         self.machine = machine or compiled.options.machine
         self.memories = [NodeMemory(r, self.proc) for r in self.grid.all_ranks()]
-        self.clocks = Clocks(self.grid.size, self.machine)
+        # A VectorMachine (repro.machine.batchexec) carries one lane
+        # per swept machine variant: charge every lane in one run.
+        from .batchexec import VectorClocks, VectorMachine
+
+        if isinstance(self.machine, VectorMachine):
+            self.clocks = VectorClocks(self.grid.size, self.machine)
+        else:
+            self.clocks = Clocks(self.grid.size, self.machine)
         self.stats = TrafficStats()
         self.trace = Trace(trace_capacity)
         self.authoritative = _AuthoritativeReader(self)

@@ -1359,7 +1359,7 @@ class InnerPlan:
         clocks = sim.clocks
         stats = sim.stats
         memory = sim.memories[rank]
-        full = np.tile(np.asarray(ctx.tape, dtype=np.float64), n)
+        full = clocks.tile(clocks.tape(ctx.tape), n)
         if full.size:
             clocks.compute_time[rank] = sequential_sum(
                 clocks.compute_time[rank], full
@@ -1379,7 +1379,7 @@ class InnerPlan:
             memory.arrays[name][elem] = value
             memory.valid[name][elem] = True
             memory.versions[name] += 1
-        if prev < full.size:
+        if prev < full.shape[0]:
             clocks.time[rank] = sequential_sum(clocks.time[rank], full[prev:])
 
     def prepare(self, low: int, high: int, step: int, env) -> Callable:
@@ -1501,7 +1501,7 @@ class InnerPlan:
                     self._commit_fetching_tape(r, ctxs[r], n, fetch_plan)
                 elif tape:
                     clocks.charge_compute_tape(
-                        r, np.tile(np.asarray(tape, dtype=np.float64), n)
+                        r, clocks.tile(clocks.tape(tape), n)
                     )
             for key, info in self.regions.items():
                 name = key[0]
@@ -1900,17 +1900,16 @@ class ColumnPlan:
         def commit():
             memories = sim.memories
             clocks = sim.clocks
-            seq = np.concatenate([
-                np.asarray([st.dt for st in self.pre], dtype=np.float64),
-                np.tile(
-                    np.asarray([st.dt for st in self.body], dtype=np.float64),
-                    nsteps,
+            seq = clocks.cat([
+                clocks.tape([st.dt for st in self.pre]),
+                clocks.tile(
+                    clocks.tape([st.dt for st in self.body]), nsteps
                 ),
-                np.asarray([st.dt for st in self.post], dtype=np.float64),
+                clocks.tape([st.dt for st in self.post]),
             ])
             for r, cols in cols_of.items():
                 if seq.size:
-                    clocks.charge_compute_tape(r, np.tile(seq, cols.size))
+                    clocks.charge_compute_tape(r, clocks.tile(seq, cols.size))
             many = sim.grid.size > 1
             for name, (w, _v, written, joff) in ctx.tables.items():
                 if not written.any():
@@ -2463,13 +2462,11 @@ class TriangularPlan:
             # each rank's tier-2 tape: its own columns run every
             # statement, foreign columns only the replicated ones
             own = tuple(
-                np.asarray([st.dt for st in steps], dtype=np.float64)
+                clocks.tape([st.dt for st in steps])
                 for steps in (self.pre, self.body, self.post)
             )
             foreign = tuple(
-                np.asarray(
-                    [st.dt for st in steps if st.repl], dtype=np.float64
-                )
+                clocks.tape([st.dt for st in steps if st.repl])
                 for steps in (self.pre, self.body, self.post)
             )
             if any(f.size for f in foreign):
@@ -2485,9 +2482,9 @@ class TriangularPlan:
                         own if int(exec_col[c]) == r else foreign
                     )
                     parts.append(pre_dts)
-                    parts.append(np.tile(body_dts, int(widths[c])))
+                    parts.append(clocks.tile(body_dts, int(widths[c])))
                     parts.append(post_dts)
-                seq = np.concatenate(parts) if parts else own[0][:0]
+                seq = clocks.cat(parts) if parts else own[0][:0]
                 if seq.size:
                     clocks.charge_compute_tape(r, seq)
             many = sim.grid.size > 1

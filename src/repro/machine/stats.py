@@ -9,7 +9,7 @@ import numpy as np
 from ..comm.costmodel import MachineModel
 
 
-def sequential_sum(start: float, dts: np.ndarray) -> float:
+def sequential_sum(start, dts: np.ndarray):
     """Left-fold ``start + dts[0] + dts[1] + ...`` with exactly the
     rounding of a sequential ``+=`` loop.
 
@@ -17,13 +17,24 @@ def sequential_sum(start: float, dts: np.ndarray) -> float:
     (``r[i] = op(r[i-1], a[i])``), unlike ``np.sum``/``np.add.reduce``
     whose pairwise summation reassociates; the slab engine relies on
     this to charge a whole iteration slab in one call while staying
-    bit-for-bit identical to per-iteration charging."""
+    bit-for-bit identical to per-iteration charging.
+
+    Scalar form: ``start`` is a float, ``dts`` a 1-d tape, result a
+    float.  Lane form (batched sweeps): ``start`` is a ``(lanes,)``
+    vector, ``dts`` a ``(steps, lanes)`` tape, and the fold runs down
+    axis 0 — per lane that is the same sequence of scalar additions,
+    so each lane is bitwise identical to a scalar fold of its column."""
     if dts.size == 0:
         return start
-    buf = np.empty(dts.size + 1, dtype=np.float64)
+    if dts.ndim == 1:
+        buf = np.empty(dts.size + 1, dtype=np.float64)
+        buf[0] = start
+        buf[1:] = dts
+        return float(np.add.accumulate(buf)[-1])
+    buf = np.empty((dts.shape[0] + 1, dts.shape[1]), dtype=np.float64)
     buf[0] = start
     buf[1:] = dts
-    return float(np.add.accumulate(buf)[-1])
+    return np.add.accumulate(buf, axis=0)[-1]
 
 
 @dataclass
@@ -163,6 +174,28 @@ class Clocks:
             return
         self.time[rank] = sequential_sum(self.time[rank], dts)
         self.compute_time[rank] = sequential_sum(self.compute_time[rank], dts)
+
+    # -- tape assembly -----------------------------------------------------
+    #
+    # The slab engine builds charge tapes out of per-statement ``dt``
+    # values and feeds them to ``charge_compute_tape``/``sequential_sum``.
+    # Routing the numpy assembly through the clock object keeps the tape
+    # *shape* a clock concern: the scalar clocks here build 1-d tapes
+    # (one entry per statement instance), while the lane-vector clocks
+    # of the batched sweep evaluator (``repro.machine.batchexec``) build
+    # ``(instances, lanes)`` tapes from per-lane ``dt`` vectors.
+
+    def tape(self, dts: list) -> np.ndarray:
+        """A charge tape from a list of per-statement ``dt`` values."""
+        return np.asarray(dts, dtype=np.float64)
+
+    def tile(self, tape: np.ndarray, n: int) -> np.ndarray:
+        """``tape`` repeated ``n`` times along the instance axis."""
+        return np.tile(tape, n)
+
+    def cat(self, parts: list) -> np.ndarray:
+        """Tapes concatenated along the instance axis."""
+        return np.concatenate(parts) if parts else self.tape([])
 
     def charge_collective(self, ranks: list[int], elements: int, kind: str) -> None:
         if len(ranks) <= 1:

@@ -160,9 +160,23 @@ class PerfEstimator:
         compiled: CompiledProgram,
         machine: MachineModel | None = None,
         pipelined_shifts: bool = False,
+        nest_cost_constants: "dict[str, float] | None" = None,
     ):
         self.compiled = compiled
         self.machine = machine or compiled.options.machine
+        if nest_cost_constants:
+            valid = {"C_T2_STMT", "C_PREP", "C_VEC", "C_ELEM"}
+            unknown = sorted(set(nest_cost_constants) - valid)
+            if unknown:
+                raise ValueError(
+                    f"unknown nest-cost constant(s) {unknown}; "
+                    f"valid: {sorted(valid)}"
+                )
+            # Instance attributes shadow the class defaults, so a
+            # calibrated set (``repro calibrate``) steers this
+            # estimator's tier comparisons only.
+            for name, value in nest_cost_constants.items():
+                setattr(self, name, float(value))
         self.ctx = compiled.ctx
         self.grid = compiled.grid
         #: pricing semantics for inner-loop shifts: False (default)

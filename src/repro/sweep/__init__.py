@@ -1,17 +1,22 @@
 """Experiment-grid sweeps over the compiler and simulator.
 
 Declare a grid with :class:`SweepSpec`, run it with
-:func:`run_sweep`, consume ordered :class:`SweepResult` records.
+:func:`run_sweep` (``mode="auto"|"pool"|"batched"`` picks the
+execution strategy), consume ordered :class:`SweepResult` records.
 """
 
-from .engine import execute_job, run_sweep
+from .batched import Batch, plan_batches
+from .engine import EXEC_MODES, execute_job, run_sweep
 from .spec import MODES, SweepJob, SweepResult, SweepSpec
 
 __all__ = [
+    "Batch",
+    "EXEC_MODES",
     "MODES",
     "SweepJob",
     "SweepResult",
     "SweepSpec",
     "execute_job",
+    "plan_batches",
     "run_sweep",
 ]

@@ -1,0 +1,305 @@
+"""The batched sweep fast path: one simulation per *batch* of points.
+
+A sweep grid typically varies three kinds of axis:
+
+* **machine parameters** (alpha/beta/flop rate ablations) — these
+  never influence execution, only the ``dt`` values charged to the
+  virtual clocks, so all such points share one instruction stream;
+* **processor count / compiler options** — these change the compiled
+  program and must re-simulate, but points repeated across the grid
+  can share the compile;
+* **measurement mode** — estimate-mode points are closed-form in the
+  machine parameters and never need a simulation at all.
+
+:func:`plan_batches` partitions a job list accordingly: jobs that
+simulate (or estimate) the same ``(source, options-minus-machine,
+seed)`` point form one *batch* whose lanes differ only in
+``options.machine``.  :func:`run_batched` then compiles each batch
+once and evaluates all lanes in a single pass — a
+:class:`~repro.machine.batchexec.VectorMachine` simulation whose
+lane-vector clocks charge every machine variant simultaneously, or one
+vectorized :class:`~repro.perf.estimator.PerfEstimator` evaluation —
+and stitches the lanes back into ordinary per-job
+:class:`~repro.sweep.spec.SweepResult` records, byte-identical to what
+a dedicated per-point run would have produced.
+
+Jobs that cannot batch (compile-mode points, failure-injection test
+jobs) are returned to the caller untouched; :func:`repro.sweep.engine.
+run_sweep` sends them down the ordinary pool path.  A batch whose
+vectorized evaluation fails for any reason degrades to per-lane
+in-process execution — like the pool's serial fallback, the fast path
+may lose speed but never a grid point.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.diskcache import CompileCache, options_signature
+from ..core.driver import CompiledProgram, compile_source
+from ..core.passes import PassManager
+from ..model import SP2
+from ..obs import Metrics, Tracer
+from .spec import SweepJob, SweepResult
+
+#: job modes the batched evaluator understands
+BATCHABLE_MODES = ("simulate", "estimate")
+
+
+# ---------------------------------------------------------------------------
+# Planning
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Batch:
+    """One compile + one vectorized evaluation: jobs that differ only
+    in ``options.machine`` (the *lanes*), with their positions in the
+    original job list."""
+
+    indices: list[int]
+    jobs: list[SweepJob]
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+def batch_key(job: SweepJob) -> tuple:
+    """The grouping key: everything that changes execution.  Machine
+    parameters are normalized away (they become lanes); the options
+    signature is the same canonical closure the compile cache keys
+    on, so two jobs with equal keys compile identically."""
+    neutral = dataclasses.replace(job.options, machine=SP2)
+    return (job.source, job.seed, job.mode, options_signature(neutral))
+
+
+def plan_batches(
+    jobs: list[SweepJob],
+) -> tuple[list[Batch], list[int]]:
+    """Partition ``jobs`` into vectorizable batches and the indices of
+    everything else (pool work).  Every job lands in exactly one place;
+    batches preserve first-seen grid order."""
+    batches: dict[tuple, Batch] = {}
+    leftover: list[int] = []
+    for index, job in enumerate(jobs):
+        if job.mode not in BATCHABLE_MODES or job.inject:
+            leftover.append(index)
+            continue
+        key = batch_key(job)
+        batch = batches.get(key)
+        if batch is None:
+            batches[key] = Batch(indices=[index], jobs=[job])
+        else:
+            batch.indices.append(index)
+            batch.jobs.append(job)
+    return list(batches.values()), leftover
+
+
+# ---------------------------------------------------------------------------
+# Compilation (shared with the engine's dedup)
+# ---------------------------------------------------------------------------
+
+
+def compile_with_memo(
+    job: SweepJob,
+    *,
+    manager: PassManager,
+    cache: CompileCache | None,
+    memo: dict | None,
+) -> tuple[CompiledProgram, bool, bool]:
+    """Compile ``job`` through the optional in-run memo table and the
+    optional persistent cache.  Returns ``(compiled, cache_hit,
+    deduped)`` — ``deduped`` means the memo already held this
+    ``(source, options signature)`` and no compile work ran at all."""
+    key = (job.source, options_signature(job.options))
+    if memo is not None:
+        hit = memo.get(key)
+        if hit is not None:
+            return hit, False, True
+    if cache is not None:
+        compiled, cache_hit = cache.get_or_compile(
+            job.source,
+            job.options,
+            lambda: compile_source(job.source, job.options, manager=manager),
+            pipeline=manager.pipeline,
+        )
+    else:
+        compiled = compile_source(job.source, job.options, manager=manager)
+        cache_hit = False
+    if memo is not None:
+        memo[key] = compiled
+    return compiled, cache_hit, False
+
+
+# ---------------------------------------------------------------------------
+# Vectorized evaluation
+# ---------------------------------------------------------------------------
+
+
+def _simulate_lanes(batch: Batch, compiled: CompiledProgram) -> list[dict]:
+    """One lane-vector simulation; per-lane simulate-mode payloads."""
+    import numpy as np
+
+    from ..machine.batchexec import VectorMachine
+    from ..machine.simulator import simulate
+
+    job = batch.jobs[0]
+    machine = VectorMachine([j.options.machine for j in batch.jobs])
+    rng = np.random.default_rng(job.seed)
+    inputs = {}
+    for symbol in compiled.proc.symbols.arrays():
+        shape = tuple(symbol.extent(d) for d in range(symbol.rank))
+        inputs[symbol.name] = rng.uniform(0.5, 1.5, shape)
+    sim = simulate(compiled, inputs, machine=machine, tier="auto")
+    base = sim.canonical_stats()  # lane-vector "clocks", shared rest
+    shared = dict(
+        slab_coverage=round(sim.slab_coverage, 6),
+        messages=sim.stats.messages,
+        fetches=sim.stats.fetches,
+        unexpected_fetches=sim.stats.unexpected_fetches,
+        grid_size=compiled.grid.size,
+    )
+    payloads = []
+    for lane in range(len(batch)):
+        stats = {
+            "procs": base["procs"],
+            "clocks": sim.clocks.lane_snapshot(lane),
+            "stats": copy.deepcopy(base["stats"]),
+            "tiers": dict(base["tiers"]),
+        }
+        payloads.append(
+            dict(
+                shared,
+                elapsed=sim.clocks.lane_elapsed(lane),
+                canonical_stats=stats,
+            )
+        )
+    return payloads
+
+
+def _lane_float(value, lane: int) -> float:
+    """One lane of a vectorized cost — which stays a plain scalar when
+    no machine-dependent term ever touched it (e.g. ``comm_time`` of a
+    communication-free program), exactly like the scalar estimator."""
+    import numpy as np
+
+    arr = np.asarray(value, dtype=np.float64)
+    return float(arr) if arr.ndim == 0 else float(arr[lane])
+
+
+def _estimate_lanes(batch: Batch, compiled: CompiledProgram) -> list[dict]:
+    """One vectorized estimator pass; per-lane estimate payloads."""
+    from ..machine.batchexec import VectorMachine
+    from ..perf.estimator import PerfEstimator
+
+    machine = VectorMachine([j.options.machine for j in batch.jobs])
+    estimate = PerfEstimator(compiled, machine).estimate()
+    return [
+        dict(
+            total_time=_lane_float(estimate.total_time, lane),
+            compute_time=_lane_float(estimate.compute_time, lane),
+            comm_time=_lane_float(estimate.comm_time, lane),
+            grid_size=compiled.grid.size,
+        )
+        for lane in range(len(batch))
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def run_batched(
+    batches: list[Batch],
+    *,
+    manager: PassManager,
+    cache: CompileCache | None,
+    memo: dict | None,
+    tracer: Tracer,
+    metrics: Metrics | None,
+    on_result: Callable[[SweepResult], None] | None = None,
+) -> dict[int, SweepResult]:
+    """Evaluate every batch, returning results keyed by original job
+    index.  A batch whose vectorized evaluation raises falls back to
+    per-lane in-process execution; nothing is ever dropped."""
+    from .engine import execute_job
+
+    def _inc(name: str, amount: float = 1) -> None:
+        if metrics is not None:
+            metrics.inc(name, amount)
+
+    results: dict[int, SweepResult] = {}
+
+    def _emit(index: int, result: SweepResult) -> None:
+        results[index] = result
+        _inc("sweep.jobs_ok" if result.ok else "sweep.jobs_failed")
+        if result.cache_hit:
+            _inc("sweep.cache_hits")
+        if result.compile_dedup:
+            _inc("sweep.compile_dedup")
+        if on_result is not None:
+            on_result(result)
+
+    for batch in batches:
+        with tracer.span(
+            "sweep.batch",
+            cat="sweep",
+            label=batch.jobs[0].label,
+            lanes=len(batch),
+        ):
+            started = time.perf_counter()
+            try:
+                job0 = batch.jobs[0]
+                compiled, cache_hit, deduped = compile_with_memo(
+                    job0, manager=manager, cache=cache, memo=memo
+                )
+                if job0.mode == "simulate":
+                    payloads = _simulate_lanes(batch, compiled)
+                else:
+                    payloads = _estimate_lanes(batch, compiled)
+            except Exception:
+                # never lose a grid point: run each lane the ordinary
+                # scalar way, in-process (mirrors the pool's serial
+                # fallback ladder)
+                _inc("sweep.batched_fallbacks")
+                tracer.instant(
+                    "sweep.batch_fallback",
+                    cat="sweep",
+                    label=batch.jobs[0].label,
+                    error=traceback.format_exc(limit=1),
+                )
+                for index, job in zip(batch.indices, batch.jobs):
+                    result = execute_job(
+                        job, manager=manager, cache=cache, memo=memo
+                    )
+                    result.worker = "batched-fallback"
+                    _emit(index, result)
+                continue
+            # the batch's wall clock, amortized over its lanes
+            per_lane = (time.perf_counter() - started) / len(batch)
+            _inc("sweep.batched_groups")
+            _inc("sweep.batched_lanes", len(batch))
+            for lane, (index, job) in enumerate(
+                zip(batch.indices, batch.jobs)
+            ):
+                result = SweepResult(
+                    label=job.label,
+                    program=job.program,
+                    mode=job.mode,
+                    procs=job.procs,
+                    options=job.options,
+                    worker="batched",
+                    cache_hit=cache_hit and lane == 0,
+                    compile_dedup=deduped or lane > 0,
+                    duration_s=per_lane,
+                )
+                for name, value in payloads[lane].items():
+                    setattr(result, name, value)
+                _emit(index, result)
+    return results

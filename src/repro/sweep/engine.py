@@ -40,10 +40,14 @@ from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Sequence
 
 from ..core.diskcache import CompileCache, as_compile_cache
-from ..core.driver import compile_source
 from ..core.passes import PassManager
 from ..obs import Metrics, NULL_TRACER, Tracer
+from .batched import compile_with_memo, plan_batches, run_batched
 from .spec import SweepJob, SweepResult, SweepSpec
+
+#: execution modes of :func:`run_sweep` — how the grid is *run*, as
+#: opposed to ``SweepSpec.mode`` which says what each point *measures*
+EXEC_MODES = ("auto", "pool", "batched")
 
 #: environment marker set inside pool workers; failure injection (the
 #: engine's own crash/hang tests) only ever fires where it is set, so
@@ -78,7 +82,9 @@ def _measure_payload(job: SweepJob, compiled) -> dict:
         for symbol in compiled.proc.symbols.arrays():
             shape = tuple(symbol.extent(d) for d in range(symbol.rank))
             inputs[symbol.name] = rng.uniform(0.5, 1.5, shape)
-        sim = simulate(compiled, inputs)
+        # tier="auto" matches Session.run and the batched fast path
+        # (which the parity suite byte-compares against this payload)
+        sim = simulate(compiled, inputs, tier="auto")
         payload.update(
             elapsed=sim.elapsed,
             canonical_stats=sim.canonical_stats(),
@@ -97,10 +103,19 @@ def execute_job(
     *,
     manager: PassManager | None = None,
     cache: CompileCache | None = None,
+    memo: dict | None = None,
 ) -> SweepResult:
     """Compile (through the cache when given) and measure one job
     in-process.  Never raises: failures come back as ``ok=False``
-    records carrying the traceback."""
+    records carrying the traceback.
+
+    ``memo`` is an in-run compiled-program table keyed on ``(source,
+    options signature)``: grid points that repeat a compile (duplicate
+    points, points differing only in seed) reuse it instead of
+    re-running the pass pipeline — pool workers keep one per process,
+    the serial path one per sweep.  A memo hit sets
+    ``result.compile_dedup``.
+    """
     started = time.perf_counter()
     result = SweepResult(
         label=job.label,
@@ -111,16 +126,11 @@ def execute_job(
     )
     try:
         manager = manager or PassManager()
-        if cache is not None:
-            compiled, hit = cache.get_or_compile(
-                job.source,
-                job.options,
-                lambda: compile_source(job.source, job.options, manager=manager),
-                pipeline=manager.pipeline,
-            )
-            result.cache_hit = hit
-        else:
-            compiled = compile_source(job.source, job.options, manager=manager)
+        compiled, hit, deduped = compile_with_memo(
+            job, manager=manager, cache=cache, memo=memo
+        )
+        result.cache_hit = hit
+        result.compile_dedup = deduped
         for name, value in _measure_payload(job, compiled).items():
             setattr(result, name, value)
     except Exception:
@@ -156,6 +166,7 @@ def _worker_main(worker_id: int, task_q, result_q, cache_root: str | None):
     os.environ[_WORKER_ENV] = str(worker_id)
     cache = CompileCache(cache_root) if cache_root else None
     manager = PassManager()
+    memo: dict = {}
     while True:
         task = task_q.get()
         if task is None:
@@ -163,7 +174,7 @@ def _worker_main(worker_id: int, task_q, result_q, cache_root: str | None):
         index, attempt, job = task
         try:
             _apply_injection(job, attempt)
-            result = execute_job(job, manager=manager, cache=cache)
+            result = execute_job(job, manager=manager, cache=cache, memo=memo)
         except Exception:
             result = SweepResult(
                 label=job.label,
@@ -224,6 +235,7 @@ class _Supervisor:
         self.target_workers = workers
         self.next_worker_id = 0
         self.fallback_manager: PassManager | None = None
+        self.fallback_memo: dict = {}
 
     # -- worker lifecycle --------------------------------------------------
 
@@ -289,6 +301,8 @@ class _Supervisor:
         self._inc("sweep.jobs_ok" if result.ok else "sweep.jobs_failed")
         if result.cache_hit:
             self._inc("sweep.cache_hits")
+        if result.compile_dedup:
+            self._inc("sweep.compile_dedup")
         self.tracer.instant(
             "sweep.job",
             cat="sweep",
@@ -310,7 +324,10 @@ class _Supervisor:
             self.fallback_manager = PassManager()
         job = self.jobs[index]
         result = execute_job(
-            job, manager=self.fallback_manager, cache=self.cache
+            job,
+            manager=self.fallback_manager,
+            cache=self.cache,
+            memo=self.fallback_memo,
         )
         result.worker = "serial-fallback"
         if not result.ok and result.error is not None:
@@ -428,6 +445,57 @@ class _Supervisor:
 # ---------------------------------------------------------------------------
 
 
+def _run_job_list(
+    jobs: Sequence[SweepJob],
+    *,
+    workers: int,
+    timeout: float | None,
+    retries: int,
+    backoff: float,
+    cache: CompileCache | None,
+    manager: PassManager | None,
+    tracer: Tracer,
+    metrics: Metrics | None,
+    on_result: Callable[[SweepResult], None] | None,
+) -> list[SweepResult]:
+    """The per-job execution paths (serial in-process, or the
+    supervised pool), shared by the pool mode and the batched mode's
+    non-batchable remainder."""
+    if workers <= 1 or len(jobs) == 1:
+        shared = manager or PassManager(tracer=tracer)
+        memo: dict = {}
+        results = []
+        for job in jobs:
+            with tracer.span("sweep.job", cat="sweep", label=job.label):
+                result = execute_job(
+                    job, manager=shared, cache=cache, memo=memo
+                )
+            if metrics is not None:
+                metrics.inc(
+                    "sweep.jobs_ok" if result.ok else "sweep.jobs_failed"
+                )
+                if result.cache_hit:
+                    metrics.inc("sweep.cache_hits")
+                if result.compile_dedup:
+                    metrics.inc("sweep.compile_dedup")
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
+    supervisor = _Supervisor(
+        jobs,
+        workers=workers,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        cache=cache,
+        tracer=tracer,
+        metrics=metrics,
+        on_result=on_result,
+    )
+    return supervisor.run()
+
+
 def run_sweep(
     spec: SweepSpec | Iterable[SweepJob],
     *,
@@ -440,6 +508,7 @@ def run_sweep(
     tracer: Tracer | None = None,
     metrics: Metrics | None = None,
     on_result: Callable[[SweepResult], None] | None = None,
+    mode: str = "auto",
 ) -> list[SweepResult]:
     """Execute a sweep, returning one result per job in job order.
 
@@ -452,8 +521,22 @@ def run_sweep(
     it serially itself.  ``cache`` enables the persistent compile
     cache (path, True for the default root, or a
     :class:`CompileCache`).
+
+    ``mode`` picks the execution strategy: ``"pool"`` runs every job
+    through the per-job paths above; ``"batched"`` routes
+    simulate/estimate points through the vectorized batch evaluator
+    (:mod:`repro.sweep.batched`) — points differing only in machine
+    parameters share one simulation, repeated compiles dedupe — with
+    everything non-batchable falling back to the pool; ``"auto"``
+    (default) uses the batched path exactly when some batch has two or
+    more lanes to fuse.  Results are identical across modes (the
+    parity suite byte-compares them); only the wall clock differs.
     """
     jobs = list(spec.jobs() if isinstance(spec, SweepSpec) else spec)
+    if mode not in EXEC_MODES:
+        raise ValueError(
+            f"mode must be one of {EXEC_MODES}, got {mode!r}"
+        )
     tracer = tracer if tracer is not None else NULL_TRACER
     disk_cache = as_compile_cache(cache)
     if metrics is not None:
@@ -463,37 +546,49 @@ def run_sweep(
     if not jobs:
         return []
 
+    batches: list = []
+    leftover = list(range(len(jobs)))
+    if mode != "pool":
+        planned, rest = plan_batches(jobs)
+        if mode == "batched" or any(len(b) > 1 for b in planned):
+            batches, leftover = planned, rest
+
     with tracer.span(
-        "sweep", cat="sweep", jobs=len(jobs), workers=max(workers, 1)
+        "sweep",
+        cat="sweep",
+        jobs=len(jobs),
+        workers=max(workers, 1),
+        batches=len(batches),
     ):
-        if workers <= 1 or len(jobs) == 1:
+        merged: dict[int, SweepResult] = {}
+        if batches:
             shared = manager or PassManager(tracer=tracer)
-            results = []
-            for job in jobs:
-                with tracer.span("sweep.job", cat="sweep", label=job.label):
-                    result = execute_job(job, manager=shared, cache=disk_cache)
-                if metrics is not None:
-                    metrics.inc(
-                        "sweep.jobs_ok" if result.ok else "sweep.jobs_failed"
-                    )
-                    if result.cache_hit:
-                        metrics.inc("sweep.cache_hits")
-                if on_result is not None:
-                    on_result(result)
-                results.append(result)
-        else:
-            supervisor = _Supervisor(
-                jobs,
-                workers=workers,
+            merged.update(
+                run_batched(
+                    batches,
+                    manager=shared,
+                    cache=disk_cache,
+                    memo={},
+                    tracer=tracer,
+                    metrics=metrics,
+                    on_result=on_result,
+                )
+            )
+        if leftover:
+            rest_results = _run_job_list(
+                [jobs[i] for i in leftover],
+                workers=min(workers, len(leftover)),
                 timeout=timeout,
                 retries=retries,
                 backoff=backoff,
                 cache=disk_cache,
+                manager=manager,
                 tracer=tracer,
                 metrics=metrics,
                 on_result=on_result,
             )
-            results = supervisor.run()
+            merged.update(zip(leftover, rest_results))
+        results = [merged[i] for i in range(len(jobs))]
 
     if metrics is not None and disk_cache is not None:
         for name, value in disk_cache.stats.as_dict().items():

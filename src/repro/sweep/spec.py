@@ -167,7 +167,12 @@ class SweepResult:
     worker: str = "serial"
     #: the compile came from the persistent cache
     cache_hit: bool = False
-    #: wall-clock of the successful execution (compile + measure)
+    #: the compile was skipped entirely: another grid point in the same
+    #: run (or another lane of the same batch) had already compiled
+    #: this exact (source, options signature)
+    compile_dedup: bool = False
+    #: wall-clock of the successful execution (compile + measure); for
+    #: a batched point, the batch's wall clock amortized over its lanes
     duration_s: float = 0.0
     #: processor-grid size the compiled program actually ran on
     grid_size: int | None = None
@@ -201,6 +206,7 @@ class SweepResult:
             "attempts": self.attempts,
             "worker": self.worker,
             "cache_hit": self.cache_hit,
+            "compile_dedup": self.compile_dedup,
             "duration_s": self.duration_s,
             "grid_size": self.grid_size,
         }

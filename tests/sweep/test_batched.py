@@ -1,0 +1,107 @@
+"""The batched sweep evaluator: result parity with the pool path,
+compile dedup accounting, worker tags, and the per-lane fallback
+ladder."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.model import SP2
+from repro.obs import Metrics
+from repro.programs import tomcatv_source
+from repro.sweep import SweepSpec, run_sweep
+
+FAST = dataclasses.replace(SP2, name="fast-net", alpha=5e-6, beta=1.0 / 300e6)
+SLOW = dataclasses.replace(SP2, name="slow-cpu", flop_time=1.0 / 5e6)
+
+
+def _spec(mode="simulate", procs=(2, 4), machines=(SP2, FAST, SLOW)):
+    return SweepSpec(
+        programs={"tomcatv": lambda p: tomcatv_source(n=10, niter=1, procs=p)},
+        procs=procs,
+        axes={"machine": machines},
+        mode=mode,
+    )
+
+
+def _comparable(result):
+    """Everything measurement-bearing; execution bookkeeping (worker,
+    durations, cache/dedup provenance) legitimately differs by path."""
+    record = result.as_dict()
+    for name in ("worker", "duration_s", "cache_hit", "compile_dedup",
+                 "attempts"):
+        record.pop(name, None)
+    return record
+
+
+class TestParityWithPool:
+    @pytest.mark.parametrize("mode", ["simulate", "estimate"])
+    def test_batched_equals_pool_byte_for_byte(self, mode):
+        spec = _spec(mode=mode)
+        pool = run_sweep(spec, workers=0, mode="pool")
+        batched = run_sweep(spec, workers=0, mode="batched")
+        assert len(pool) == len(batched) == len(spec)
+        for p, b in zip(pool, batched):
+            assert json.dumps(_comparable(p), sort_keys=True) == json.dumps(
+                _comparable(b), sort_keys=True
+            )
+
+    def test_auto_picks_batched_when_lanes_fuse(self):
+        metrics = Metrics()
+        results = run_sweep(_spec(), workers=0, mode="auto", metrics=metrics)
+        assert all(r.worker == "batched" for r in results)
+        # 2 procs values x 3 machines -> 2 batches of 3 lanes
+        assert metrics.counters["sweep.batched_groups"] == 2
+        assert metrics.counters["sweep.batched_lanes"] == 6
+
+
+class TestAccounting:
+    def test_compile_dedup_counter(self):
+        metrics = Metrics()
+        results = run_sweep(
+            _spec(), workers=0, mode="batched", metrics=metrics
+        )
+        # each batch compiles once; the other lanes reuse it
+        deduped = [r for r in results if r.compile_dedup]
+        assert len(deduped) == 4
+        assert metrics.counters["sweep.compile_dedup"] == 4
+        assert metrics.counters["sweep.jobs_ok"] == 6
+
+    def test_pool_path_dedups_repeated_compiles_serially(self):
+        metrics = Metrics()
+        spec = SweepSpec(
+            programs={"tomcatv": tomcatv_source(n=10, niter=1, procs=2)},
+            procs=(2, 2),
+            mode="compile",  # unbatchable: exercises the serial memo
+        )
+        results = run_sweep(spec, workers=0, mode="auto", metrics=metrics)
+        assert [r.compile_dedup for r in results] == [False, True]
+        assert metrics.counters["sweep.compile_dedup"] == 1
+
+    def test_batched_duration_amortized_over_lanes(self):
+        results = run_sweep(_spec(procs=(2,)), workers=0, mode="batched")
+        durations = {r.duration_s for r in results}
+        assert len(durations) == 1  # one batch wall clock, split evenly
+        assert durations.pop() > 0
+
+
+class TestFallback:
+    def test_failing_batch_degrades_to_per_lane_execution(self, monkeypatch):
+        import repro.sweep.batched as batched_mod
+
+        def boom(batch, compiled):
+            raise RuntimeError("vector evaluation exploded")
+
+        monkeypatch.setattr(batched_mod, "_simulate_lanes", boom)
+        metrics = Metrics()
+        spec = _spec(procs=(2,))
+        results = run_sweep(spec, workers=0, mode="batched", metrics=metrics)
+        assert metrics.counters["sweep.batched_fallbacks"] == 1
+        assert [r.worker for r in results] == ["batched-fallback"] * 3
+        assert all(r.ok for r in results)
+        # the fallback results match a plain pool run
+        pool = run_sweep(spec, workers=0, mode="pool")
+        for p, b in zip(pool, results):
+            assert p.label == b.label
+            assert p.canonical_stats == b.canonical_stats

@@ -226,3 +226,85 @@ class TestObsFlags:
         capsys.readouterr()
         assert args.procs == [1, 4]
         assert not hasattr(args, "procs_single")
+
+
+class TestSweepCommand:
+    def test_table_output(self, program_file, capsys):
+        assert main(["sweep", program_file, "--procs", "2", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "elapsed" in out
+        assert "2 points" in out
+        assert "0 failed" in out
+
+    def test_json_output(self, program_file, capsys):
+        import json
+
+        assert main(
+            ["sweep", program_file, "--procs", "2", "--json",
+             "--sweep-mode", "estimate"]
+        ) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1
+        assert records[0]["ok"] is True
+        assert "total_time" in records[0]
+
+    def test_axis_flag(self, program_file, capsys):
+        assert main(
+            ["sweep", program_file, "--procs", "2",
+             "--axis", "strategy=selected,producer",
+             "--sweep-mode", "compile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 points" in out
+
+    def test_forced_batched_mode(self, program_file, capsys):
+        assert main(
+            ["sweep", program_file, "--procs", "2", "4",
+             "--mode", "batched"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "(2 batched" in out
+
+    def test_rejects_machine_axis(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["sweep", program_file, "--axis", "machine=a,b"])
+
+    def test_rejects_unknown_axis_field(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["sweep", program_file, "--axis", "warp_factor=9"])
+
+
+class TestCalibrateCommand:
+    def test_fits_and_renders(self, capsys, monkeypatch):
+        from repro.perf import calibrate as calibrate_mod
+
+        monkeypatch.setattr(
+            calibrate_mod, "DEFAULT_CONFIGS",
+            ((1, 20, 32), (1, 60, 32), (2, 20, 32), (2, 40, 64),
+             (1, 10, 256)),
+        )
+        assert main(["calibrate", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "nest-cost calibration" in out
+        for name in ("C_T2_STMT", "C_PREP", "C_VEC", "C_ELEM"):
+            assert name in out
+        assert "nest_cost_constants" in out
+
+    def test_json_output(self, capsys, monkeypatch):
+        import json
+
+        from repro.perf import calibrate as calibrate_mod
+
+        # the real micro-benchmarks take seconds; shrink them for CI
+        monkeypatch.setattr(
+            calibrate_mod, "DEFAULT_CONFIGS",
+            ((1, 20, 32), (1, 60, 32), (2, 20, 32), (2, 40, 64),
+             (1, 10, 256)),
+        )
+        assert main(["calibrate", "--repeats", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["constants"]) == {
+            "C_T2_STMT", "C_PREP", "C_VEC", "C_ELEM"
+        }
+        assert all(v > 0 for v in payload["constants"].values())
+        assert len(payload["samples"]) == 5
