@@ -26,6 +26,19 @@ sweep evaluator: run cold through the pool path and cold through
 lane-vector simulation and the procs axis shares compiles, so ~21
 full jobs collapse to ~3 compiles + 3 simulations.
 
+A fourth, **procs grid** (simulate mode, 7 processor counts × 5
+machines over TOMCATV + DGEFA + APPSP = 105 points) gates the procs
+axis as a lane dimension: every batched point must report
+``procs_lanes == 7`` (all seven processor counts fused as sub-groups
+of its batch), produce ``canonical_stats`` byte-identical to the pool
+path, and the batched leg must finish at least ``--min-procs-speedup``
+(default 3.0) times faster.  A companion **compile-once gate** sweeps
+a pinned-PROCESSORS TOMCATV source over ``procs=(None, 4)`` — the
+directive fixes the grid either way, so the second lane must reuse
+the first lane's compile (``compile_dedup``) and land on byte-identical
+stats: a P-independent program compiles once for the whole procs
+vector.
+
 With ``--inject-crash``, the first timing-grid point's pool worker is
 killed mid-flight (``os._exit``) on its first attempt — the supervisor
 must retry it without losing the point, proving the engine's recovery
@@ -37,6 +50,8 @@ speedup, and the disk caches' footprint + per-pass hit counts.
 Usage::
 
     python benchmarks/sweep_gate.py [--workers 2] [--min-speedup 2.0]
+                                    [--min-batched-speedup 5.0]
+                                    [--min-procs-speedup 3.0]
                                     [--cache-dir DIR] [--stats-out F]
                                     [--inject-crash] [--verbose]
 
@@ -57,9 +72,14 @@ SRC_DIR = REPO_ROOT / "src"
 sys.path.insert(0, str(SRC_DIR))
 
 from repro.core.diskcache import CompileCache  # noqa: E402
+from repro.core.driver import CompilerOptions  # noqa: E402
 from repro.model import SP2  # noqa: E402
-from repro.programs import dgefa_source, tomcatv_source  # noqa: E402
-from repro.sweep import SweepSpec, run_sweep  # noqa: E402
+from repro.programs import (  # noqa: E402
+    appsp_source,
+    dgefa_source,
+    tomcatv_source,
+)
+from repro.sweep import SweepJob, SweepSpec, run_sweep  # noqa: E402
 
 #: seven machine-parameter ablations around the SP2 baseline — the
 #: lane axis of the batched grid (3 procs x 7 machines = 21 points)
@@ -134,6 +154,7 @@ def main() -> int:
     parser.add_argument("--procs", type=int, nargs="+", default=[1, 2, 4, 8])
     parser.add_argument("--min-speedup", type=float, default=2.0)
     parser.add_argument("--min-batched-speedup", type=float, default=5.0)
+    parser.add_argument("--min-procs-speedup", type=float, default=3.0)
     parser.add_argument("--cache-dir", default=None)
     parser.add_argument("--stats-out", default=None)
     parser.add_argument("--inject-crash", action="store_true")
@@ -247,8 +268,117 @@ def main() -> int:
             f"pool path (need >= {args.min_batched_speedup:.1f}x)"
         )
 
+    # -- procs grid: the procs axis itself as a lane dimension ---------
+    # 7 processor counts x 3 machines over three paper kernels; the
+    # batched evaluator fuses each program's 21 points into one batch
+    # of 7 procs sub-groups (one compile + sub-simulation each) and one
+    # fused extraction, where the pool path pays 21 full jobs.
+    procs_values = (1, 2, 3, 4, 6, 8, 12)
+    procs_machines = MACHINE_VARIANTS[:5]
+    procs_spec = SweepSpec(
+        programs={
+            "tomcatv": lambda p: tomcatv_source(n=16, niter=1, procs=p),
+            "dgefa": lambda p: dgefa_source(n=12, procs=p),
+            "appsp": lambda p: appsp_source(
+                nx=6, ny=6, nz=6, niter=1, procs=p
+            ),
+        },
+        procs=procs_values,
+        axes={"machine": procs_machines},
+        mode="simulate",
+    )
+    procs_jobs = procs_spec.jobs()
+    print(f"procs grid: {len(procs_jobs)} simulate-mode points "
+          f"({len(procs_values)} procs x {len(procs_machines)} machines "
+          f"x {len(procs_spec.programs)} programs)")
+    started = time.perf_counter()
+    p_pool = run_sweep(
+        procs_jobs, workers=args.workers,
+        cache=CompileCache(base_root / "procs-pool"),
+        timeout=120, retries=2, backoff=0.05, mode="pool",
+    )
+    t_procs_pool = time.perf_counter() - started
+    started = time.perf_counter()
+    p_fast = run_sweep(
+        procs_jobs, workers=args.workers,
+        cache=CompileCache(base_root / "procs-batched"),
+        timeout=120, retries=2, backoff=0.05, mode="batched",
+    )
+    t_procs_batched = time.perf_counter() - started
+
+    for tag, results in (("pool", p_pool), ("batched", p_fast)):
+        if len(results) != len(procs_jobs):
+            failures.append(f"procs grid {tag}: grid points were lost")
+        bad = [r for r in results if not r.ok]
+        if bad:
+            failures.append(f"procs grid {tag}: {len(bad)} failed "
+                            f"point(s), first: {bad[0].error}")
+    off_path = [r.label for r in p_fast if r.worker != "batched"]
+    if off_path:
+        failures.append(f"procs grid: points fell off the fast path: "
+                        f"{off_path[:3]}")
+    unfused = [r.label for r in p_fast
+               if r.procs_lanes != len(procs_values)]
+    if unfused:
+        failures.append(
+            f"procs grid: points whose batch did not fuse all "
+            f"{len(procs_values)} procs sub-groups: {unfused[:3]}"
+        )
+    if stats_payload(p_pool) != stats_payload(p_fast):
+        failures.append("procs grid: canonical stats differ from the "
+                        "pool path")
+    else:
+        print(f"procs-lane canonical stats byte-identical across "
+              f"{len(procs_jobs)} points")
+    procs_speedup = (
+        t_procs_pool / t_procs_batched
+        if t_procs_batched > 0 else float("inf")
+    )
+    print(f"pool {t_procs_pool:.3f}s, batched {t_procs_batched:.3f}s -> "
+          f"speedup {procs_speedup:.2f}x (gate: >= "
+          f"{args.min_procs_speedup:.1f}x)")
+    if procs_speedup < args.min_procs_speedup:
+        failures.append(
+            f"procs-lane sweep only {procs_speedup:.2f}x faster than "
+            f"the pool path (need >= {args.min_procs_speedup:.1f}x)"
+        )
+
+    # -- compile-once gate: a P-independent program compiles once ------
+    # The pinned PROCESSORS(4) directive fixes the grid whether the
+    # sweep requests num_procs=None or num_procs=4, so the batched
+    # evaluator must compile the source once and dedupe the other lane.
+    pinned_source = tomcatv_source(n=16, niter=1, procs=4)
+    pinned_jobs = [
+        SweepJob(program="tomcatv-pinned", source=pinned_source,
+                 mode="simulate", procs=None, options=CompilerOptions()),
+        SweepJob(program="tomcatv-pinned", source=pinned_source,
+                 mode="simulate", procs=4,
+                 options=CompilerOptions(num_procs=4)),
+    ]
+    pinned = run_sweep(
+        pinned_jobs, workers=0, cache=CompileCache(base_root / "pinned"),
+        mode="batched",
+    )
+    bad = [r for r in pinned if not r.ok]
+    if bad:
+        failures.append(f"compile-once gate: {len(bad)} failed "
+                        f"point(s), first: {bad[0].error}")
+    elif [r.compile_dedup for r in pinned] != [False, True]:
+        failures.append(
+            "compile-once gate: pinned-PROCESSORS source was not "
+            "compiled exactly once across the procs vector (dedup flags "
+            f"{[r.compile_dedup for r in pinned]})"
+        )
+    elif (json.dumps(pinned[0].canonical_stats, sort_keys=True)
+          != json.dumps(pinned[1].canonical_stats, sort_keys=True)):
+        failures.append("compile-once gate: the deduped lane's stats "
+                        "differ from the compiled lane's")
+    else:
+        print("compile-once gate: pinned-PROCESSORS source compiled "
+              "once for the whole procs vector, identical stats")
+
     if args.verbose:
-        for r in warm + s_warm + b_fast:
+        for r in warm + s_warm + b_fast + p_fast:
             print(f"  {r.label:45s} {r.mode:8s} hit={r.cache_hit} "
                   f"worker={r.worker} {r.duration_s * 1e3:7.1f} ms")
 
@@ -275,6 +405,19 @@ def main() -> int:
         "batched_speedup": batched_speedup,
         "min_batched_speedup": args.min_batched_speedup,
         "batched_compile_dedups": sum(r.compile_dedup for r in b_fast),
+        "procs_jobs": len(procs_jobs),
+        "procs_values": list(procs_values),
+        "procs_machine_variants": len(procs_machines),
+        "procs_pool_seconds": t_procs_pool,
+        "procs_batched_seconds": t_procs_batched,
+        "procs_speedup": procs_speedup,
+        "min_procs_speedup": args.min_procs_speedup,
+        "procs_compile_dedups": sum(r.compile_dedup for r in p_fast),
+        "procs_lanes_fused": sum(r.procs_lanes > 1 for r in p_fast),
+        "pinned_compile_once": bool(
+            pinned and all(r.ok for r in pinned)
+            and [r.compile_dedup for r in pinned] == [False, True]
+        ),
         "failures": failures,
     }
     if args.stats_out:

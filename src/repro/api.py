@@ -98,6 +98,14 @@ class Session:
     default root (``~/.cache/repro``), a path, or a ready
     :class:`CompileCache`.  ``tracer``/``metrics`` are threaded through
     compilation, simulation, and sweeps.
+
+    A fit saved by ``repro calibrate --save`` is applied automatically:
+    when the options carry no explicit ``nest_cost_constants``, the
+    session loads the saved constants (from the cache root, or the
+    root ``use_calibration`` names) into its options, so ``tierplan``
+    prices tiers with the host's own numbers.  ``use_calibration=
+    False`` keeps the shipped defaults; an explicit
+    ``nest_cost_constants`` in the options always wins.
     """
 
     def __init__(
@@ -108,10 +116,24 @@ class Session:
         tracer: "Tracer | None" = None,
         metrics: "Metrics | None" = None,
         manager: PassManager | None = None,
+        use_calibration: bool | str | os.PathLike = True,
         **overrides: Any,
     ):
         if overrides or options is None:
             options = CompilerOptions.from_overrides(options, **overrides)
+        if use_calibration and options.nest_cost_constants is None:
+            from .perf.calibrate import load_calibration
+
+            root = (
+                use_calibration
+                if not isinstance(use_calibration, bool)
+                else None
+            )
+            saved = load_calibration(root)
+            if saved:
+                options = CompilerOptions.from_overrides(
+                    options, nest_cost_constants=saved
+                )
         self.options = options
         self.cache = as_compile_cache(cache)
         self.tracer = tracer
@@ -246,10 +268,12 @@ class Session:
         serial in-process execution on the session's pass manager.
         ``mode`` selects the execution strategy: ``"pool"`` runs one
         job at a time, ``"batched"`` fuses grid points that differ only
-        in machine parameters into lane-vectorized evaluations (and
-        dedupes repeated compiles), ``"auto"`` picks batched exactly
-        when some batch has lanes to fuse — results are identical
-        either way."""
+        in machine parameters *or the processor count* into
+        lane-vectorized evaluations (and dedupes repeated compiles —
+        ``SweepResult.procs_lanes`` reports how many procs sub-groups
+        a point's batch fused), ``"auto"`` picks batched exactly when
+        some batch has lanes to fuse — results are identical either
+        way."""
         return run_sweep(
             spec,
             workers=workers,

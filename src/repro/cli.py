@@ -63,9 +63,16 @@ def _cache_arg(args):
 
 
 def _session(args, num_procs: int | None = None, **kwargs) -> Session:
+    # a saved fit (repro calibrate --save) applies by default; a custom
+    # --cache-dir also roots the calibration lookup there
+    use_calibration: bool | str = not getattr(args, "no_calibration", False)
+    cache_dir = getattr(args, "cache_dir", None)
+    if use_calibration and cache_dir:
+        use_calibration = cache_dir
     return Session(
         _compiler_options(args, num_procs=num_procs),
         cache=_cache_arg(args),
+        use_calibration=use_calibration,
         **kwargs,
     )
 
@@ -101,6 +108,12 @@ def _add_option_flags(parser: argparse.ArgumentParser) -> None:
         "--timings",
         action="store_true",
         help="print the per-pass pipeline timings table",
+    )
+    parser.add_argument(
+        "--no-calibration",
+        action="store_true",
+        help="ignore a saved nest-cost calibration (repro calibrate "
+        "--save) and price tiers with the shipped defaults",
     )
     _add_cache_flags(parser)
 
@@ -381,15 +394,16 @@ def cmd_sweep(args) -> int:
         print(f"{r.label}: FAILED: {last}", file=sys.stderr)
     dedups = sum(r.compile_dedup for r in results)
     batched = sum(r.worker == "batched" for r in results)
-    print(f"{len(results)} points ({batched} batched, {dedups} compiles "
-          f"deduped), {len(failed)} failed")
+    fused = sum(r.procs_lanes > 1 for r in results)
+    print(f"{len(results)} points ({batched} batched, {fused} procs-fused, "
+          f"{dedups} compiles deduped), {len(failed)} failed")
     return 1 if failed else 0
 
 
 def cmd_calibrate(args) -> int:
     import json
 
-    from .perf.calibrate import calibrate
+    from .perf.calibrate import calibrate, save_calibration
 
     result = calibrate(
         repeats=args.repeats, verbose=args.verbose
@@ -398,6 +412,10 @@ def cmd_calibrate(args) -> int:
         print(json.dumps(result.as_dict(), indent=1, sort_keys=True))
     else:
         print(result.render())
+    if getattr(args, "save", False):
+        path = save_calibration(result, getattr(args, "cache_dir", None))
+        print(f"saved fit to {path} (sessions now apply it by default; "
+              f"opt out with --no-calibration)")
     return 0
 
 
@@ -511,8 +529,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--mode", choices=["auto", "pool", "batched"], default="auto",
         help="execution strategy: batched fuses points differing only "
-        "in machine parameters into one vectorized evaluation "
-        "(default: auto)",
+        "in machine parameters or processor count into one vectorized "
+        "evaluation (default: auto)",
     )
     p_sweep.add_argument(
         "--workers", type=int, default=None,
@@ -533,8 +551,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=3,
         help="timing repetitions per configuration (min is kept)",
     )
+    p_cal.add_argument(
+        "--save", action="store_true",
+        help="persist the fit under the cache root so sessions (and "
+        "tierplan) apply it by default",
+    )
     p_cal.add_argument("--json", action="store_true")
     p_cal.add_argument("--verbose", action="store_true")
+    _add_cache_flags(p_cal)
     p_cal.set_defaults(func=cmd_calibrate)
 
     p_cache = sub.add_parser(

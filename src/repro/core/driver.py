@@ -48,6 +48,11 @@ if TYPE_CHECKING:  # provided by comm/machine passes; no runtime dependency
     from ..obs import Tracer
     from ..perf.tierplan import TierPlan
 
+#: the tier-choice cost constants ``repro calibrate`` fits (mirrors the
+#: :class:`~repro.perf.estimator.PerfEstimator` attribute names; listed
+#: here so options validation does not import the perf layer)
+NEST_COST_CONSTANTS = ("C_T2_STMT", "C_PREP", "C_VEC", "C_ELEM")
+
 
 @dataclass
 class CompilerOptions:
@@ -69,6 +74,12 @@ class CompilerOptions:
     auto_privatize_arrays: bool = False
     num_procs: int | None = None
     machine: MachineModel = field(default_factory=lambda: SP2)
+    #: host-calibrated nest-cost constants steering tier selection
+    #: (``repro calibrate --save``); None uses the estimator's shipped
+    #: defaults.  Accepts a mapping or pair sequence and normalizes to
+    #: a sorted tuple of ``(name, seconds)`` pairs so the options
+    #: closure (compile-cache key, sweep grouping) stays canonical.
+    nest_cost_constants: Any = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -82,6 +93,26 @@ class CompilerOptions:
                 f"num_procs must be a positive processor count, "
                 f"got {self.num_procs!r}"
             )
+        if self.nest_cost_constants is not None:
+            pairs = (
+                self.nest_cost_constants.items()
+                if isinstance(self.nest_cost_constants, Mapping)
+                else self.nest_cost_constants
+            )
+            normalized = tuple(
+                sorted((str(name), float(value)) for name, value in pairs)
+            )
+            unknown = sorted(
+                {name for name, _ in normalized} - set(NEST_COST_CONSTANTS)
+            )
+            if unknown:
+                raise ValueError(
+                    f"unknown nest-cost constant(s) {unknown}; "
+                    f"valid: {sorted(NEST_COST_CONSTANTS)}"
+                )
+            if any(value <= 0 for _, value in normalized):
+                raise ValueError("nest-cost constants must be positive")
+            self.nest_cost_constants = normalized or None
 
     @classmethod
     def from_overrides(

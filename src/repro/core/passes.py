@@ -777,6 +777,7 @@ def _run_tierplan(state: PipelineState) -> dict[str, Any]:
     from ..perf.estimator import PerfEstimator
     from ..perf.tierplan import build_tierplan
 
+    constants = getattr(state.options, "nest_cost_constants", None)
     estimator = PerfEstimator(
         SimpleNamespace(
             proc=state.proc,
@@ -785,7 +786,11 @@ def _run_tierplan(state: PipelineState) -> dict[str, Any]:
             grid=state["grid"],
             executors=state["executors"],
             comm=state["comm"],
-        )
+        ),
+        # host-calibrated constants ride on the options (see
+        # ``repro calibrate --save``) so the cached TierPlan reflects
+        # the fit it was planned with
+        nest_cost_constants=dict(constants) if constants else None,
     )
     return {
         "tierplan": build_tierplan(state.proc, state["slabexec"], estimator)

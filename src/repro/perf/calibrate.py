@@ -21,14 +21,29 @@ the min over ``repeats`` runs is kept per configuration.
 
 Apply a fit programmatically with
 ``PerfEstimator(compiled, nest_cost_constants=result.constants)``, or
-print the suggestion with ``repro calibrate``.
+print the suggestion with ``repro calibrate``.  ``repro calibrate
+--save`` persists the fit under the cache root
+(:func:`save_calibration`); from then on :class:`repro.api.Session`
+(and hence the CLI and ``tierplan``) applies it by default —
+``use_calibration=False`` / ``--no-calibration`` opts out, and an
+explicit ``nest_cost_constants`` in the options always wins.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Sequence
+
+#: saved-fit schema version (bumped on layout changes; a reader seeing
+#: an unknown version treats the file as absent, never as an error)
+CALIBRATION_SCHEMA = 1
+
+#: file name of the persisted fit under the cache root
+CALIBRATION_FILENAME = "calibration.json"
 
 #: (stmts, entries, n) per synthetic nest — chosen so the design matrix
 #: separates the per-entry, per-statement-per-entry, and per-element
@@ -129,6 +144,65 @@ class CalibrationResult:
             f"{{{overrides}}})"
         )
         return "\n".join(lines)
+
+
+def calibration_path(root: "str | os.PathLike | None" = None) -> Path:
+    """Where a saved fit lives: ``<cache root>/calibration.json``
+    (the same root resolution as the persistent compile cache —
+    ``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``)."""
+    from ..core.diskcache import default_cache_dir
+
+    base = Path(root).expanduser() if root else default_cache_dir()
+    return base / CALIBRATION_FILENAME
+
+
+def save_calibration(
+    result: CalibrationResult, root: "str | os.PathLike | None" = None
+) -> Path:
+    """Persist ``result`` under the cache root; returns the path.  The
+    write is atomic (tmp + rename) like the compile-cache stores, so a
+    concurrent reader never sees a torn file."""
+    path = calibration_path(root)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": CALIBRATION_SCHEMA,
+        "saved_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        **result.as_dict(),
+    }
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_calibration(
+    root: "str | os.PathLike | None" = None,
+) -> "dict[str, float] | None":
+    """The saved nest-cost constants, or None when no (readable,
+    current-schema, positive-valued) fit has been saved.  Never raises:
+    an unusable file behaves exactly like an absent one, so auto-apply
+    can run unconditionally."""
+    path = calibration_path(root)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("schema") != CALIBRATION_SCHEMA:
+            return None
+        constants = {
+            str(name): float(value)
+            for name, value in payload["constants"].items()
+        }
+    except Exception:
+        return None
+    valid = {"C_T2_STMT", "C_PREP", "C_VEC", "C_ELEM"}
+    if set(constants) != valid:
+        return None
+    if any(value <= 0 for value in constants.values()):
+        return None
+    return constants
 
 
 def _r2(observed, predicted) -> float:

@@ -24,6 +24,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..comm.costmodel import MachineModel, flops_of_expr
 from ..comm.events import CommEvent, ReduceEvent
 from ..core.driver import CompiledProgram
@@ -179,6 +181,26 @@ class PerfEstimator:
                 setattr(self, name, float(value))
         self.ctx = compiled.ctx
         self.grid = compiled.grid
+        #: procs-lane mode: a machine that carries per-lane grid shapes
+        #: (:class:`~repro.machine.batchexec.ProcsVectorMachine`) makes
+        #: every grid-dependent quantity a ``(lanes,)`` vector, so one
+        #: ``estimate()`` call prices a whole procs vector — each lane
+        #: bitwise what a dedicated scalar estimate on that lane's
+        #: machine + grid would produce (elementwise numpy ops replace
+        #: the scalar ``min``/``max`` in identical order)
+        shapes = getattr(self.machine, "grid_shapes", None)
+        self._lane_shapes = None
+        if shapes is not None:
+            if any(len(s) != self.grid.rank for s in shapes):
+                raise ValueError(
+                    f"per-lane grid shapes must match the compiled grid "
+                    f"rank {self.grid.rank}: got {shapes}"
+                )
+            self._lane_shapes = tuple(tuple(s) for s in shapes)
+            self._shape_vectors = tuple(
+                np.asarray([s[g] for s in self._lane_shapes], dtype=np.int64)
+                for g in range(self.grid.rank)
+            )
         #: pricing semantics for inner-loop shifts: False (default)
         #: charges a collective per iteration instance — the 1997
         #: compiled-code behaviour behind the paper's catastrophic
@@ -296,6 +318,24 @@ class PerfEstimator:
             return None
         return vname, m0, q, total / vtrip
 
+    # ==================================================================
+    # Grid access (scalar or per-lane)
+    # ==================================================================
+
+    def _shape(self, g: int):
+        """Grid extent along dimension ``g``: an int, or a ``(lanes,)``
+        vector in procs-lane mode."""
+        if self._lane_shapes is None:
+            return self.grid.shape[g]
+        return self._shape_vectors[g]
+
+    def _grid_size(self):
+        if self._lane_shapes is None:
+            return self.grid.size
+        return np.asarray(
+            [math.prod(s) for s in self._lane_shapes], dtype=np.int64
+        )
+
     def _instances(self, stmt: Stmt, up_to_level: int | None = None) -> float:
         enclosing = []
         for loop in stmt.loops_enclosing():
@@ -412,9 +452,10 @@ class PerfEstimator:
         ):
             return self._sibling_parallel_factor(stmt)
         factor = 1.0
+        lanes = self._lane_shapes is not None
         enclosing = stmt.loops_enclosing()
         for g, dim in enumerate(executor.position):
-            procs = self.grid.shape[g]
+            procs = self._shape(g)
             if dim.kind != "pos" or dim.form is None:
                 continue
             driving = [
@@ -425,8 +466,13 @@ class PerfEstimator:
             extent = 1.0
             for loop in driving:
                 extent *= self.trip_count(loop)
-            factor *= min(float(procs), max(extent, 1.0))
-        return max(factor, 1.0)
+            if lanes:
+                factor = factor * np.minimum(
+                    procs.astype(np.float64), max(extent, 1.0)
+                )
+            else:
+                factor *= min(float(procs), max(extent, 1.0))
+        return np.maximum(factor, 1.0) if lanes else max(factor, 1.0)
 
     def _sibling_parallel_factor(self, stmt: Stmt) -> float:
         """Privatized (no-guard) statements execute with the union of
@@ -442,7 +488,11 @@ class PerfEstimator:
             executor = self.compiled.executors.get(sibling.stmt_id)
             if executor is None or executor.kind != "owner":
                 continue
-            best = max(best, self._parallel_factor(sibling))
+            sibling_factor = self._parallel_factor(sibling)
+            if self._lane_shapes is not None:
+                best = np.maximum(best, sibling_factor)
+            else:
+                best = max(best, sibling_factor)
         return best
 
     # ==================================================================
@@ -507,8 +557,14 @@ class PerfEstimator:
                     delta = max(
                         (abs(d) for d in event.pattern.offsets), default=1
                     )
-                    boundaries = max(self.grid.shape[g] - 1, 0) * delta
-                    fraction *= min(1.0, boundaries / trip)
+                    if self._lane_shapes is not None:
+                        boundaries = np.maximum(self._shape(g) - 1, 0) * delta
+                        fraction = fraction * np.minimum(
+                            1.0, boundaries / trip
+                        )
+                    else:
+                        boundaries = max(self.grid.shape[g] - 1, 0) * delta
+                        fraction *= min(1.0, boundaries / trip)
                     break
         return fraction
 
@@ -526,9 +582,9 @@ class PerfEstimator:
         span = 1
         if event.pattern.kind == "broadcast":
             for g in event.pattern.bcast_dims:
-                span *= self.grid.shape[g]
+                span = span * self._shape(g)
         elif event.pattern.kind == "general":
-            span = self.grid.size
+            span = self._grid_size()
         if event.pattern.kind == "general":
             # Distinguish two 'general' shapes at this placement:
             #  * the data position is FIXED within one instance (only
@@ -568,7 +624,7 @@ class PerfEstimator:
         instances = self._instances(event.stmt, up_to_level=event.loop_level - 1)
         span = 1
         for g in event.grid_dims:
-            span *= self.grid.shape[g]
+            span = span * self._shape(g)
         per_instance = self.machine.reduce_time(event.elements, span)
         return EventCost(
             event=event,
@@ -629,6 +685,78 @@ class PerfEstimator:
                 continue
             total += self.machine.compute_time(flops, 1) * self._instances(stmt)
         return total
+
+
+def _position_signature(position) -> tuple:
+    out = []
+    for dim in position:
+        form = None
+        if dim.form is not None:
+            form = (
+                dim.form.const,
+                tuple(sorted((s.name, c) for s, c in dim.form.coeffs)),
+            )
+        fmt = None
+        if dim.fmt is not None:
+            fmt = (dim.fmt.kind, dim.fmt.extent, dim.fmt.chunk)
+        out.append((dim.kind, form, fmt))
+    return tuple(out)
+
+
+def estimate_signature(compiled: CompiledProgram) -> tuple:
+    """Structural fingerprint of everything :class:`PerfEstimator`
+    walks, *excluding* the processor count.
+
+    Two compiles of the same source at different ``num_procs`` that
+    share this signature differ only in ``grid.shape`` extents — every
+    other estimator input (trip counts, flops, executor positions,
+    communication events, placements, reduction spans) is identical —
+    so a single procs-lane estimate with per-lane grid shapes prices
+    each lane exactly as that lane's dedicated scalar estimate.  When
+    the signatures differ (e.g. the mapping analysis made a
+    P-dependent choice), the batched sweep evaluator falls back to one
+    estimate per procs value."""
+    # statement/ref ids are assigned by a compile-global counter, so
+    # normalize to program-order indices before comparing compiles
+    order = {
+        stmt.stmt_id: i
+        for i, stmt in enumerate(compiled.proc.all_stmts())
+    }
+    executors = tuple(
+        (
+            order.get(sid, sid),
+            info.kind,
+            _position_signature(info.position),
+            tuple(info.union_dims),
+        )
+        for sid, info in sorted(
+            compiled.executors.items(),
+            key=lambda kv: order.get(kv[0], kv[0]),
+        )
+    )
+    events = tuple(
+        (
+            e.ordinal,
+            order.get(e.stmt.stmt_id, -1),
+            e.placement_level,
+            e.pattern.kind,
+            tuple(e.pattern.offsets),
+            tuple(e.pattern.bcast_dims),
+            _position_signature(e.data_position),
+            tuple(m.ordinal for m in e.combined_with),
+        )
+        for e in compiled.comm.events
+    )
+    reduces = tuple(
+        (
+            order.get(r.stmt.stmt_id, -1),
+            r.loop_level,
+            tuple(r.grid_dims),
+            r.elements,
+        )
+        for r in compiled.comm.reduces
+    )
+    return (compiled.grid.rank, executors, events, reduces)
 
 
 def estimate_performance(

@@ -1,34 +1,43 @@
-"""The batched sweep fast path: one simulation per *batch* of points.
+"""The batched sweep fast path: one evaluation per *batch* of points.
 
 A sweep grid typically varies three kinds of axis:
 
 * **machine parameters** (alpha/beta/flop rate ablations) — these
   never influence execution, only the ``dt`` values charged to the
   virtual clocks, so all such points share one instruction stream;
-* **processor count / compiler options** — these change the compiled
-  program and must re-simulate, but points repeated across the grid
-  can share the compile;
-* **measurement mode** — estimate-mode points are closed-form in the
-  machine parameters and never need a simulation at all.
+* **processor count** — this changes the compiled program (and hence
+  the instruction stream), but the per-procs runs of one program are
+  the *same experiment* at different widths: they become *procs
+  sub-groups* of one batch, sharing planning, compile dedup, and
+  fused procs-lane extraction;
+* **other compiler options / measurement mode** — these change the
+  experiment itself; compile-mode points never batch at all.
 
 :func:`plan_batches` partitions a job list accordingly: jobs that
-simulate (or estimate) the same ``(source, options-minus-machine,
-seed)`` point form one *batch* whose lanes differ only in
-``options.machine``.  :func:`run_batched` then compiles each batch
-once and evaluates all lanes in a single pass — a
-:class:`~repro.machine.batchexec.VectorMachine` simulation whose
-lane-vector clocks charge every machine variant simultaneously, or one
-vectorized :class:`~repro.perf.estimator.PerfEstimator` evaluation —
-and stitches the lanes back into ordinary per-job
-:class:`~repro.sweep.spec.SweepResult` records, byte-identical to what
-a dedicated per-point run would have produced.
+simulate (or estimate) the same ``(program, seed,
+options-minus-machine-minus-procs)`` point form one *batch*.  Within a
+batch, lanes split into procs sub-groups — runs sharing one compiled
+program — whose lanes differ only in ``options.machine``.
+:func:`run_batched` compiles each sub-group once (procs values that
+resolve to the same processor grid share even that compile), evaluates
+all its machine lanes in a single lane-vector simulation, adopts every
+sub-group's clocks into one batch-wide
+:class:`~repro.machine.batchexec.ProcsVectorClocks` laid out over the
+widest rank count, and stitches per-lane
+:class:`~repro.sweep.spec.SweepResult` records back in grid order —
+byte-identical to what a dedicated per-point run would have produced.
+Estimate-mode batches whose sub-groups share an estimate signature
+collapse further: one :class:`~repro.perf.estimator.PerfEstimator`
+pass over a :class:`~repro.machine.batchexec.ProcsVectorMachine`
+prices the whole procs × machine grid in a single call.
 
 Jobs that cannot batch (compile-mode points, failure-injection test
 jobs) are returned to the caller untouched; :func:`repro.sweep.engine.
-run_sweep` sends them down the ordinary pool path.  A batch whose
-vectorized evaluation fails for any reason degrades to per-lane
-in-process execution — like the pool's serial fallback, the fast path
-may lose speed but never a grid point.
+run_sweep` sends them down the ordinary pool path.  The degrade ladder
+never loses a grid point: a sub-group whose compile or vectorized
+evaluation fails runs its lanes per-lane in-process, and a fused
+extraction that fails degrades to per-sub-group extraction (which is
+byte-identical — adoption copies clock columns verbatim).
 """
 
 from __future__ import annotations
@@ -58,9 +67,9 @@ BATCHABLE_MODES = ("simulate", "estimate")
 
 @dataclass
 class Batch:
-    """One compile + one vectorized evaluation: jobs that differ only
-    in ``options.machine`` (the *lanes*), with their positions in the
-    original job list."""
+    """One vectorized evaluation unit: jobs of one experiment whose
+    lanes differ only in ``options.machine`` and the processor count,
+    with their positions in the original job list."""
 
     indices: list[int]
     jobs: list[SweepJob]
@@ -68,14 +77,30 @@ class Batch:
     def __len__(self) -> int:
         return len(self.jobs)
 
+    def subgroups(self) -> list[list[int]]:
+        """Lane positions partitioned into procs sub-groups: lanes
+        sharing one compiled program (same source, same options up to
+        the machine), in first-seen lane order.  Each sub-group is one
+        compile + one lane-vector simulation; a single-procs batch has
+        exactly one."""
+        groups: dict[tuple, list[int]] = {}
+        for lane, job in enumerate(self.jobs):
+            neutral = dataclasses.replace(job.options, machine=SP2)
+            key = (job.source, options_signature(neutral))
+            groups.setdefault(key, []).append(lane)
+        return list(groups.values())
+
 
 def batch_key(job: SweepJob) -> tuple:
-    """The grouping key: everything that changes execution.  Machine
-    parameters are normalized away (they become lanes); the options
-    signature is the same canonical closure the compile cache keys
-    on, so two jobs with equal keys compile identically."""
-    neutral = dataclasses.replace(job.options, machine=SP2)
-    return (job.source, job.seed, job.mode, options_signature(neutral))
+    """The grouping key: everything that changes the *experiment*.
+    Machine parameters are normalized away (they become lanes) and so
+    is the processor count (per-procs runs become sub-groups of one
+    batch); the options signature is the same canonical closure the
+    compile cache keys on.  The program *name* stands in for the source
+    because callable program specs re-emit source text per procs value
+    — the per-procs sources regroup into sub-groups inside the batch."""
+    neutral = dataclasses.replace(job.options, machine=SP2, num_procs=None)
+    return (job.program, job.seed, job.mode, options_signature(neutral))
 
 
 def plan_batches(
@@ -100,6 +125,14 @@ def plan_batches(
     return list(batches.values()), leftover
 
 
+def _sub_batch(batch: Batch, lanes: list[int]) -> Batch:
+    """The view of one procs sub-group as a batch of its own."""
+    return Batch(
+        indices=[batch.indices[i] for i in lanes],
+        jobs=[batch.jobs[i] for i in lanes],
+    )
+
+
 # ---------------------------------------------------------------------------
 # Compilation (shared with the engine's dedup)
 # ---------------------------------------------------------------------------
@@ -111,16 +144,45 @@ def compile_with_memo(
     manager: PassManager,
     cache: CompileCache | None,
     memo: dict | None,
+    grid_memo: dict | None = None,
 ) -> tuple[CompiledProgram, bool, bool]:
     """Compile ``job`` through the optional in-run memo table and the
     optional persistent cache.  Returns ``(compiled, cache_hit,
-    deduped)`` — ``deduped`` means the memo already held this
-    ``(source, options signature)`` and no compile work ran at all."""
+    deduped)`` — ``deduped`` means no compile work ran at all.
+
+    ``memo`` keys on the exact ``(source, options signature)``.
+    ``grid_memo`` (the batched path) adds a second, *grid-normalized*
+    level: ``num_procs`` influences compilation only through the
+    resolved processor grid, so a prior compile of the same source
+    under the same options-minus-``num_procs`` whose grid matches what
+    this job's ``num_procs`` would resolve to is the identical program
+    — a P-independent program (PROCESSORS directive pinned) compiles
+    once for a whole procs vector."""
     key = (job.source, options_signature(job.options))
     if memo is not None:
         hit = memo.get(key)
         if hit is not None:
             return hit, False, True
+    family: dict | None = None
+    if grid_memo is not None:
+        neutral = dataclasses.replace(job.options, num_procs=None)
+        family = grid_memo.setdefault(
+            (job.source, options_signature(neutral)), {}
+        )
+        if family:
+            from ..core.context import resolve_grid
+
+            # any prior compile of this family parsed the same source,
+            # so its PROCESSORS directive predicts this job's grid
+            prior = next(iter(family.values()))
+            shape = resolve_grid(
+                prior.proc, num_procs=job.options.num_procs
+            ).shape
+            hit = family.get(shape)
+            if hit is not None:
+                if memo is not None:
+                    memo[key] = hit
+                return hit, False, True
     if cache is not None:
         compiled, cache_hit = cache.get_or_compile(
             job.source,
@@ -133,6 +195,8 @@ def compile_with_memo(
         cache_hit = False
     if memo is not None:
         memo[key] = compiled
+    if family is not None:
+        family.setdefault(compiled.grid.shape, compiled)
     return compiled, cache_hit, False
 
 
@@ -141,8 +205,10 @@ def compile_with_memo(
 # ---------------------------------------------------------------------------
 
 
-def _simulate_lanes(batch: Batch, compiled: CompiledProgram) -> list[dict]:
-    """One lane-vector simulation; per-lane simulate-mode payloads."""
+def _simulate_lanes(batch: Batch, compiled: CompiledProgram):
+    """One lane-vector simulation of a procs sub-group: every machine
+    lane charged in a single tier="auto" run.  Returns the sim; payload
+    extraction happens at the batch level (fused across sub-groups)."""
     import numpy as np
 
     from ..machine.batchexec import VectorMachine
@@ -155,7 +221,14 @@ def _simulate_lanes(batch: Batch, compiled: CompiledProgram) -> list[dict]:
     for symbol in compiled.proc.symbols.arrays():
         shape = tuple(symbol.extent(d) for d in range(symbol.rank))
         inputs[symbol.name] = rng.uniform(0.5, 1.5, shape)
-    sim = simulate(compiled, inputs, machine=machine, tier="auto")
+    return simulate(compiled, inputs, machine=machine, tier="auto")
+
+
+def _simulate_payloads(sim, compiled: CompiledProgram, clocks, lanes) -> list[dict]:
+    """Per-lane simulate-mode payloads: the clock-derived fields come
+    from lane ``m`` of ``clocks`` (the sub-run's own lane clocks, or
+    the batch's fused procs-lane clocks — identical by adoption), the
+    rest from the sub-simulation they all share."""
     base = sim.canonical_stats()  # lane-vector "clocks", shared rest
     shared = dict(
         slab_coverage=round(sim.slab_coverage, 6),
@@ -165,20 +238,48 @@ def _simulate_lanes(batch: Batch, compiled: CompiledProgram) -> list[dict]:
         grid_size=compiled.grid.size,
     )
     payloads = []
-    for lane in range(len(batch)):
+    for lane in lanes:
         stats = {
             "procs": base["procs"],
-            "clocks": sim.clocks.lane_snapshot(lane),
+            "clocks": clocks.lane_snapshot(lane),
             "stats": copy.deepcopy(base["stats"]),
             "tiers": dict(base["tiers"]),
         }
         payloads.append(
             dict(
                 shared,
-                elapsed=sim.clocks.lane_elapsed(lane),
+                elapsed=clocks.lane_elapsed(lane),
                 canonical_stats=stats,
             )
         )
+    return payloads
+
+
+def _fuse_simulations(groups) -> dict[int, dict]:
+    """Fuse-at-extract: adopt every sub-simulation's lane clocks into
+    one batch-wide :class:`ProcsVectorClocks` laid out over the widest
+    rank count, then extract each batch lane's payload from the fused
+    structure.  ``groups`` holds ``(lanes, sub, compiled, sim)`` per
+    procs sub-group; returns payloads keyed by batch lane position."""
+    from ..machine.batchexec import ProcsVectorClocks, ProcsVectorMachine
+
+    models, procs, shapes = [], [], []
+    for lanes, sub, compiled, _sim in groups:
+        models.extend(j.options.machine for j in sub.jobs)
+        procs.extend([compiled.grid.size] * len(lanes))
+        shapes.extend([compiled.grid.shape] * len(lanes))
+    fused = ProcsVectorClocks(
+        ProcsVectorMachine(models, procs, grid_shapes=shapes)
+    )
+    payloads: dict[int, dict] = {}
+    offset = 0
+    for lanes, _sub, compiled, sim in groups:
+        fused.adopt(offset, sim.clocks)
+        extracted = _simulate_payloads(
+            sim, compiled, fused, range(offset, offset + len(lanes))
+        )
+        payloads.update(zip(lanes, extracted))
+        offset += len(lanes)
     return payloads
 
 
@@ -210,6 +311,35 @@ def _estimate_lanes(batch: Batch, compiled: CompiledProgram) -> list[dict]:
     ]
 
 
+def _estimate_procs_lanes(groups) -> dict[int, dict]:
+    """One procs-lane estimator pass pricing every (procs, machine)
+    cell of a batch in a single call.  The caller guarantees the
+    sub-groups share an estimate signature, so any one compiled
+    program describes the common cost structure; the per-lane grid
+    shapes ride on the :class:`ProcsVectorMachine`."""
+    from ..machine.batchexec import ProcsVectorMachine
+    from ..perf.estimator import PerfEstimator
+
+    models, procs, shapes, order, sizes = [], [], [], [], []
+    for lanes, sub, compiled, _sim in groups:
+        models.extend(j.options.machine for j in sub.jobs)
+        procs.extend([compiled.grid.size] * len(lanes))
+        shapes.extend([compiled.grid.shape] * len(lanes))
+        sizes.extend([compiled.grid.size] * len(lanes))
+        order.extend(lanes)
+    machine = ProcsVectorMachine(models, procs, grid_shapes=shapes)
+    estimate = PerfEstimator(groups[0][2], machine).estimate()
+    payloads: dict[int, dict] = {}
+    for fused_lane, batch_lane in enumerate(order):
+        payloads[batch_lane] = dict(
+            total_time=_lane_float(estimate.total_time, fused_lane),
+            compute_time=_lane_float(estimate.compute_time, fused_lane),
+            comm_time=_lane_float(estimate.comm_time, fused_lane),
+            grid_size=sizes[fused_lane],
+        )
+    return payloads
+
+
 # ---------------------------------------------------------------------------
 # Execution
 # ---------------------------------------------------------------------------
@@ -226,8 +356,9 @@ def run_batched(
     on_result: Callable[[SweepResult], None] | None = None,
 ) -> dict[int, SweepResult]:
     """Evaluate every batch, returning results keyed by original job
-    index.  A batch whose vectorized evaluation raises falls back to
-    per-lane in-process execution; nothing is ever dropped."""
+    index.  A procs sub-group whose compile or vectorized evaluation
+    raises falls back to per-lane in-process execution; nothing is
+    ever dropped."""
     from .engine import execute_job
 
     def _inc(name: str, amount: float = 1) -> None:
@@ -235,6 +366,9 @@ def run_batched(
             metrics.inc(name, amount)
 
     results: dict[int, SweepResult] = {}
+    #: grid-normalized compile memo (see :func:`compile_with_memo`),
+    #: scoped to this run like the exact-signature memo
+    grid_memo: dict = {}
 
     def _emit(index: int, result: SweepResult) -> None:
         results[index] = result
@@ -246,48 +380,101 @@ def run_batched(
         if on_result is not None:
             on_result(result)
 
+    def _fall_back(sub: Batch) -> None:
+        """A rung of the degrade ladder: run each of the sub-batch's
+        lanes the ordinary scalar way, in-process (mirrors the pool's
+        serial fallback — the fast path may lose speed, never a
+        point)."""
+        _inc("sweep.batched_fallbacks")
+        tracer.instant(
+            "sweep.batch_fallback",
+            cat="sweep",
+            label=sub.jobs[0].label,
+            error=traceback.format_exc(limit=1),
+        )
+        for index, job in zip(sub.indices, sub.jobs):
+            result = execute_job(job, manager=manager, cache=cache, memo=memo)
+            result.worker = "batched-fallback"
+            _emit(index, result)
+
     for batch in batches:
+        groups = batch.subgroups()
         with tracer.span(
             "sweep.batch",
             cat="sweep",
             label=batch.jobs[0].label,
             lanes=len(batch),
+            procs_groups=len(groups),
         ):
             started = time.perf_counter()
+            #: batch lane -> measurement payload / (cache_hit, dedup)
+            payloads: dict[int, dict] = {}
+            flags: dict[int, tuple[bool, bool]] = {}
             try:
-                job0 = batch.jobs[0]
-                compiled, cache_hit, deduped = compile_with_memo(
-                    job0, manager=manager, cache=cache, memo=memo
-                )
-                if job0.mode == "simulate":
-                    payloads = _simulate_lanes(batch, compiled)
-                else:
-                    payloads = _estimate_lanes(batch, compiled)
+                evaluated = []  # (lanes, sub, compiled, sim|None)
+                for lanes in groups:
+                    sub = _sub_batch(batch, lanes)
+                    try:
+                        compiled, cache_hit, deduped = compile_with_memo(
+                            sub.jobs[0],
+                            manager=manager,
+                            cache=cache,
+                            memo=memo,
+                            grid_memo=grid_memo,
+                        )
+                        sim = (
+                            _simulate_lanes(sub, compiled)
+                            if sub.jobs[0].mode == "simulate"
+                            else None
+                        )
+                    except Exception:
+                        _fall_back(sub)
+                        continue
+                    evaluated.append((lanes, sub, compiled, sim))
+                    for pos, lane in enumerate(lanes):
+                        flags[lane] = (
+                            cache_hit and pos == 0,
+                            deduped or pos > 0,
+                        )
+                if evaluated and batch.jobs[0].mode == "simulate":
+                    try:
+                        payloads = _fuse_simulations(evaluated)
+                    except Exception:
+                        # byte-identical either way: adoption copies
+                        # columns, so per-sub-group extraction is a
+                        # safe rung below the fused one
+                        payloads = {}
+                        for lanes, _sub, compiled, sim in evaluated:
+                            extracted = _simulate_payloads(
+                                sim, compiled, sim.clocks, range(len(lanes))
+                            )
+                            payloads.update(zip(lanes, extracted))
+                elif evaluated:
+                    payloads = _try_estimates(evaluated, flags, _fall_back)
             except Exception:
-                # never lose a grid point: run each lane the ordinary
-                # scalar way, in-process (mirrors the pool's serial
-                # fallback ladder)
-                _inc("sweep.batched_fallbacks")
-                tracer.instant(
-                    "sweep.batch_fallback",
-                    cat="sweep",
-                    label=batch.jobs[0].label,
-                    error=traceback.format_exc(limit=1),
-                )
-                for index, job in zip(batch.indices, batch.jobs):
-                    result = execute_job(
-                        job, manager=manager, cache=cache, memo=memo
-                    )
-                    result.worker = "batched-fallback"
-                    _emit(index, result)
+                # last-resort rung: planning/extraction bugs degrade
+                # whatever has not been emitted yet to per-lane runs
+                pending = [
+                    i
+                    for i in range(len(batch))
+                    if batch.indices[i] not in results
+                ]
+                if pending:
+                    _fall_back(_sub_batch(batch, pending))
                 continue
             # the batch's wall clock, amortized over its lanes
             per_lane = (time.perf_counter() - started) / len(batch)
-            _inc("sweep.batched_groups")
-            _inc("sweep.batched_lanes", len(batch))
+            if payloads:
+                _inc("sweep.batched_groups")
+                _inc("sweep.batched_lanes", len(payloads))
+                if len(groups) > 1:
+                    _inc("sweep.procs_fused", len(payloads))
             for lane, (index, job) in enumerate(
                 zip(batch.indices, batch.jobs)
             ):
+                if lane not in payloads:
+                    continue  # emitted by a fallback rung
+                cache_hit, deduped = flags.get(lane, (False, False))
                 result = SweepResult(
                     label=job.label,
                     program=job.program,
@@ -295,11 +482,42 @@ def run_batched(
                     procs=job.procs,
                     options=job.options,
                     worker="batched",
-                    cache_hit=cache_hit and lane == 0,
-                    compile_dedup=deduped or lane > 0,
+                    cache_hit=cache_hit,
+                    compile_dedup=deduped,
                     duration_s=per_lane,
+                    procs_lanes=len(groups),
                 )
                 for name, value in payloads[lane].items():
                     setattr(result, name, value)
                 _emit(index, result)
     return results
+
+
+def _try_estimates(evaluated, flags, fall_back) -> dict[int, dict]:
+    """The estimate-mode ladder: one fused procs-lane estimator call
+    when every sub-group shares an estimate signature, per-sub-group
+    vectorized estimates otherwise (or when fusing fails), per-lane
+    fallback for a sub-group whose estimator itself raises."""
+    if len(evaluated) > 1:
+        from ..perf.estimator import estimate_signature
+
+        try:
+            signatures = {
+                estimate_signature(compiled)
+                for _lanes, _sub, compiled, _sim in evaluated
+            }
+            if len(signatures) == 1:
+                return _estimate_procs_lanes(evaluated)
+        except Exception:
+            pass  # fall through to per-sub-group estimates
+    payloads: dict[int, dict] = {}
+    for lanes, sub, compiled, _sim in evaluated:
+        try:
+            extracted = _estimate_lanes(sub, compiled)
+        except Exception:
+            for lane in lanes:
+                flags.pop(lane, None)
+            fall_back(sub)
+            continue
+        payloads.update(zip(lanes, extracted))
+    return payloads

@@ -526,11 +526,14 @@ def run_sweep(
     through the per-job paths above; ``"batched"`` routes
     simulate/estimate points through the vectorized batch evaluator
     (:mod:`repro.sweep.batched`) — points differing only in machine
-    parameters share one simulation, repeated compiles dedupe — with
-    everything non-batchable falling back to the pool; ``"auto"``
-    (default) uses the batched path exactly when some batch has two or
-    more lanes to fuse.  Results are identical across modes (the
-    parity suite byte-compares them); only the wall clock differs.
+    parameters share one simulation, points differing only in the
+    processor count fuse into procs sub-groups of one batch (sharing
+    compiles where the resolved grid agrees, and one fused procs-lane
+    extraction/estimate), repeated compiles dedupe — with everything
+    non-batchable falling back to the pool; ``"auto"`` (default) uses
+    the batched path exactly when some batch has two or more lanes to
+    fuse.  Results are identical across modes (the parity suite
+    byte-compares them); only the wall clock differs.
     """
     jobs = list(spec.jobs() if isinstance(spec, SweepSpec) else spec)
     if mode not in EXEC_MODES:

@@ -174,6 +174,10 @@ class SweepResult:
     #: wall-clock of the successful execution (compile + measure); for
     #: a batched point, the batch's wall clock amortized over its lanes
     duration_s: float = 0.0
+    #: procs sub-groups fused into the batch this point was evaluated
+    #: in (1: a dedicated or single-procs evaluation; >1: the procs
+    #: axis itself was a lane dimension of one batch)
+    procs_lanes: int = 1
     #: processor-grid size the compiled program actually ran on
     grid_size: int | None = None
 
@@ -208,6 +212,7 @@ class SweepResult:
             "cache_hit": self.cache_hit,
             "compile_dedup": self.compile_dedup,
             "duration_s": self.duration_s,
+            "procs_lanes": self.procs_lanes,
             "grid_size": self.grid_size,
         }
         for name in (

@@ -1,0 +1,148 @@
+"""Calibration persistence: ``repro calibrate --save`` round-trips
+through the cache root and Session auto-applies the fit.
+
+The saved constants enter ``CompilerOptions.nest_cost_constants`` —
+and therefore the options signature, the compile-cache key, and the
+batched sweep's grouping — so the normalization and load-validation
+rules are correctness-critical, not cosmetics."""
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.core.diskcache import options_signature
+from repro.core.driver import NEST_COST_CONSTANTS, CompilerOptions
+from repro.perf.calibrate import (
+    CALIBRATION_FILENAME,
+    CALIBRATION_SCHEMA,
+    CalibrationResult,
+    calibration_path,
+    load_calibration,
+    save_calibration,
+)
+
+CONSTANTS = {
+    "C_T2_STMT": 1e-6,
+    "C_PREP": 2e-6,
+    "C_VEC": 3e-7,
+    "C_ELEM": 4e-9,
+}
+
+
+def _result(constants=CONSTANTS):
+    return CalibrationResult(
+        constants=dict(constants),
+        defaults={name: 1.0 for name in constants},
+        r2={"tier2": 1.0, "tier3": 1.0},
+        repeats=1,
+        samples=[],
+    )
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        path = save_calibration(_result(), tmp_path)
+        assert path == tmp_path / CALIBRATION_FILENAME
+        assert load_calibration(tmp_path) == CONSTANTS
+
+    def test_calibration_path_uses_explicit_root(self, tmp_path):
+        assert calibration_path(tmp_path) == tmp_path / CALIBRATION_FILENAME
+
+    def test_missing_file_loads_none(self, tmp_path):
+        assert load_calibration(tmp_path) is None
+
+    def test_corrupt_json_loads_none(self, tmp_path):
+        calibration_path(tmp_path).parent.mkdir(parents=True, exist_ok=True)
+        calibration_path(tmp_path).write_text("{not json")
+        assert load_calibration(tmp_path) is None
+
+    def test_unknown_schema_loads_none(self, tmp_path):
+        save_calibration(_result(), tmp_path)
+        payload = json.loads(calibration_path(tmp_path).read_text())
+        payload["schema"] = CALIBRATION_SCHEMA + 1
+        calibration_path(tmp_path).write_text(json.dumps(payload))
+        assert load_calibration(tmp_path) is None
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda c: c.pop("C_VEC"),  # missing key
+            lambda c: c.update(EXTRA=1.0),  # extra key
+            lambda c: c.update(C_VEC=0.0),  # non-positive value
+            lambda c: c.update(C_ELEM=-1e-9),
+        ],
+    )
+    def test_invalid_constants_load_none(self, tmp_path, mutate):
+        save_calibration(_result(), tmp_path)
+        payload = json.loads(calibration_path(tmp_path).read_text())
+        mutate(payload["constants"])
+        calibration_path(tmp_path).write_text(json.dumps(payload))
+        assert load_calibration(tmp_path) is None
+
+    def test_save_overwrites_previous_fit(self, tmp_path):
+        save_calibration(_result(), tmp_path)
+        newer = dict(CONSTANTS, C_VEC=9e-7)
+        save_calibration(_result(newer), tmp_path)
+        assert load_calibration(tmp_path) == newer
+
+
+NORMALIZED = tuple(sorted((k, float(v)) for k, v in CONSTANTS.items()))
+
+
+class TestSessionAutoApply:
+    def test_saved_fit_applies_by_default(self, tmp_path):
+        save_calibration(_result(), tmp_path)
+        session = Session(use_calibration=tmp_path)
+        assert session.options.nest_cost_constants == NORMALIZED
+
+    def test_opt_out_keeps_shipped_defaults(self, tmp_path):
+        save_calibration(_result(), tmp_path)
+        session = Session(use_calibration=False)
+        assert session.options.nest_cost_constants is None
+
+    def test_explicit_constants_beat_the_saved_fit(self, tmp_path):
+        save_calibration(_result(), tmp_path)
+        mine = {"C_T2_STMT": 5e-5}
+        session = Session(
+            use_calibration=tmp_path, nest_cost_constants=mine
+        )
+        assert session.options.nest_cost_constants == (("C_T2_STMT", 5e-5),)
+
+    def test_no_saved_fit_is_silent(self, tmp_path):
+        session = Session(use_calibration=tmp_path)
+        assert session.options.nest_cost_constants is None
+
+
+class TestOptionsNormalization:
+    def test_mapping_and_pairs_normalize_identically(self):
+        from_map = CompilerOptions(nest_cost_constants=CONSTANTS)
+        from_pairs = CompilerOptions(
+            nest_cost_constants=tuple(CONSTANTS.items())
+        )
+        assert from_map.nest_cost_constants == NORMALIZED
+        assert from_pairs.nest_cost_constants == NORMALIZED
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown nest-cost"):
+            CompilerOptions(nest_cost_constants={"C_BOGUS": 1e-6})
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            CompilerOptions(nest_cost_constants={"C_VEC": 0.0})
+
+    def test_names_mirror_the_estimator_attributes(self):
+        from repro.perf.estimator import PerfEstimator
+
+        for name in NEST_COST_CONSTANTS:
+            assert isinstance(getattr(PerfEstimator, name), float)
+
+    def test_constants_enter_the_options_signature(self):
+        plain = CompilerOptions()
+        fitted = CompilerOptions(nest_cost_constants=CONSTANTS)
+        assert options_signature(plain) != options_signature(fitted)
+        again = CompilerOptions(
+            nest_cost_constants=tuple(reversed(tuple(CONSTANTS.items())))
+        )
+        # ordering of the input never leaks into the signature
+        assert options_signature(fitted) == options_signature(again)

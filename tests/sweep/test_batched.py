@@ -30,7 +30,7 @@ def _comparable(result):
     durations, cache/dedup provenance) legitimately differs by path."""
     record = result.as_dict()
     for name in ("worker", "duration_s", "cache_hit", "compile_dedup",
-                 "attempts"):
+                 "attempts", "procs_lanes"):
         record.pop(name, None)
     return record
 
@@ -51,9 +51,20 @@ class TestParityWithPool:
         metrics = Metrics()
         results = run_sweep(_spec(), workers=0, mode="auto", metrics=metrics)
         assert all(r.worker == "batched" for r in results)
-        # 2 procs values x 3 machines -> 2 batches of 3 lanes
-        assert metrics.counters["sweep.batched_groups"] == 2
+        # 2 procs values x 3 machines -> ONE batch of 6 lanes in two
+        # procs sub-groups (the procs axis is a lane dimension now)
+        assert metrics.counters["sweep.batched_groups"] == 1
         assert metrics.counters["sweep.batched_lanes"] == 6
+        assert metrics.counters["sweep.procs_fused"] == 6
+        assert all(r.procs_lanes == 2 for r in results)
+
+    def test_single_procs_batch_reports_one_procs_lane(self):
+        metrics = Metrics()
+        results = run_sweep(
+            _spec(procs=(2,)), workers=0, mode="batched", metrics=metrics
+        )
+        assert all(r.procs_lanes == 1 for r in results)
+        assert "sweep.procs_fused" not in metrics.counters
 
 
 class TestAccounting:

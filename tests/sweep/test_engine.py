@@ -122,8 +122,10 @@ class TestParallel:
             procs=(2, 4),
             axes={"strategy": ("consumer", "selected")},
         )
-        serial = run_sweep(spec, workers=0)
-        parallel = run_sweep(spec, workers=2, timeout=120)
+        serial = run_sweep(spec, workers=0, mode="pool")
+        # force the pool: in auto mode the procs axis now fuses into
+        # batches and this grid would never reach a worker process
+        parallel = run_sweep(spec, workers=2, timeout=120, mode="pool")
         assert [r.label for r in serial] == [r.label for r in parallel]
         for s, p in zip(serial, parallel):
             assert s.ok and p.ok

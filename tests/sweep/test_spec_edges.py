@@ -80,8 +80,10 @@ class TestPartitionInvariant:
             _job(mode="compile"),  # leftover: not batchable
             _job(mode="estimate"),  # batch B (mode differs)
             _job(inject={"fail_attempts": 1}),  # leftover: inject
-            _job(procs=4, options=CompilerOptions(num_procs=4)),  # batch C
-            _job(),  # lane 2 of batch A (duplicate point)
+            # lane 2 of batch A: the procs axis is a lane dimension
+            # now, so a different count is a sub-group, not a new batch
+            _job(procs=4, options=CompilerOptions(num_procs=4)),
+            _job(),  # lane 3 of batch A (duplicate point)
         ]
         batches, leftover = plan_batches(jobs)
         batched_indices = [i for b in batches for i in b.indices]
@@ -89,7 +91,10 @@ class TestPartitionInvariant:
         assert len(set(batched_indices)) == len(batched_indices)
         assert leftover == [2, 4]
         by_len = sorted(len(b) for b in batches)
-        assert by_len == [1, 1, 3]
+        assert by_len == [1, 4]
+        # batch A splits into one sub-group per compiled program
+        big = next(b for b in batches if len(b) == 4)
+        assert [len(g) for g in big.subgroups()] == [3, 1]
 
     def test_grouping_never_drops_or_duplicates_results(self):
         """The caller-visible contract: mixed batchable/unbatchable
@@ -109,10 +114,22 @@ class TestPartitionInvariant:
 
     def test_single_lane_batches_take_pool_path_in_auto(self):
         """auto only pays the batched machinery when some batch has
-        lanes to fuse."""
-        jobs = [_job(), _job(procs=4, options=CompilerOptions(num_procs=4))]
+        lanes to fuse — points differing in a non-lane option (which
+        changes the experiment) stay on the pool path."""
+        jobs = [
+            _job(),
+            _job(options=CompilerOptions(num_procs=2, strategy="consumer")),
+        ]
         results = run_sweep(jobs, workers=0, mode="auto")
         assert all(r.worker == "serial" for r in results)
+
+    def test_procs_only_grid_fuses_in_auto(self):
+        """The tentpole payoff: a pure procs sweep (one machine) is one
+        batch of procs sub-groups, not one simulation per point."""
+        jobs = [_job(), _job(procs=4, options=CompilerOptions(num_procs=4))]
+        results = run_sweep(jobs, workers=0, mode="auto")
+        assert all(r.worker == "batched" for r in results)
+        assert all(r.procs_lanes == 2 for r in results)
 
     def test_rejects_unknown_exec_mode(self):
         with pytest.raises(ValueError, match="mode"):
