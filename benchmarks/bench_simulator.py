@@ -275,3 +275,32 @@ def test_identity_under_every_ablation(pname, source, inputs, vname, options):
     slow = simulate(compiled, inputs, fast_path=False)
     assert_identical(fast, slow)
     assert_identical(slab, slow)
+
+
+# -- the fuzz corpus as extra identity gates --------------------------------
+
+_CORPUS = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "tests" / "corpus")
+    .glob("*.hpf")
+)
+
+
+@pytest.mark.parametrize("path", _CORPUS, ids=[p.stem for p in _CORPUS])
+def test_identity_on_fuzz_corpus(path):
+    """The checked-in fuzz survivors (feature-diverse generated
+    programs plus every minimized divergence class a campaign has
+    found) hold bit-for-bit identity across all four engine modes —
+    the same gate the paper programs get, on shapes they never hit."""
+    from repro.fuzz.harness import make_inputs
+
+    source = path.read_text()
+    for procs in (3, 4):
+        compiled = compile_source(source, CompilerOptions(num_procs=procs))
+        inputs = make_inputs(source, 0)
+        slow = simulate(compiled, dict(inputs), fast_path=False)
+        fast = simulate(compiled, dict(inputs), fast_path=True, slab_path=False)
+        slab = simulate(compiled, dict(inputs), fast_path=True, slab_path=True)
+        auto = simulate(compiled, dict(inputs), tier="auto")
+        assert_identical(fast, slow)
+        assert_identical(slab, slow)
+        assert_identical(auto, slow)

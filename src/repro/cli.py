@@ -436,6 +436,25 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from .fuzz import GenConfig, run_campaign
+
+    config = GenConfig().scaled(args.scale) if args.scale != 1.0 else None
+    report = run_campaign(
+        seed=args.seed,
+        count=args.count,
+        config=config,
+        sweep_every=args.sweep_every,
+        artifact_dir=args.artifacts,
+        shrink_steps=args.shrink_steps,
+        verbose=args.verbose,
+    )
+    print(report.summary())
+    if report.findings and args.artifacts:
+        print(f"minimized reproducers written to {args.artifacts}/")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -583,6 +602,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the aggregated per-pass pipeline timings table",
     )
     p_tables.set_defaults(func=cmd_tables)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential tier-parity fuzzing over random programs",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (program k draws seed*1e6+k)")
+    p_fuzz.add_argument("--count", type=int, default=150,
+                        help="programs to generate and check")
+    p_fuzz.add_argument(
+        "--sweep-every", type=int, default=25, metavar="K",
+        help="add the pool-vs-batched sweep lens to every Kth "
+             "program (0 disables the sweep lens)",
+    )
+    p_fuzz.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scale generated program size (nests, bodies) by this factor",
+    )
+    p_fuzz.add_argument(
+        "--shrink-steps", type=int, default=400,
+        help="predicate-call budget per minimization",
+    )
+    p_fuzz.add_argument(
+        "--artifacts", metavar="DIR", default=None,
+        help="write minimized reproducers + findings.json here on failure",
+    )
+    p_fuzz.add_argument("--verbose", action="store_true")
+    p_fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 

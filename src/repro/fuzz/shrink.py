@@ -1,0 +1,209 @@
+"""Greedy structural minimization of failing fuzz programs.
+
+The shrinker never edits source text: it deletes and simplifies nodes
+of the :class:`~repro.fuzz.grammar.FuzzProgram` model and re-emits, so
+every candidate is valid-by-construction.  A candidate is kept when
+the caller's predicate still fails on it (same divergence kind, by
+default), and the loop runs to a fixpoint:
+
+1. drop whole nests,
+2. drop statements (prologue / inner bodies / epilogue),
+3. drop empty inner loops,
+4. strip guards, INDEPENDENT clauses, and the provenance comment,
+5. simplify surviving right-hand sides to a single operand,
+6. shrink ``n`` toward the smallest size that still reproduces.
+
+Deletion candidates are tried largest-first so the common case (one
+culprit statement in one nest) minimizes in O(program size) predicate
+calls rather than O(size²).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import replace
+from typing import Callable
+
+from .grammar import FuzzProgram
+
+#: the smallest n the shrinker will try (stencils need 2 .. n-1
+#: non-degenerate, and tiny extents stop exercising distribution math)
+MIN_N = 6
+
+
+def _without(items: list, index: int) -> list:
+    return items[:index] + items[index + 1:]
+
+
+def _stmt_sites(program: FuzzProgram):
+    """Every deletable statement as (nest index, list name, inner
+    index or None, stmt index)."""
+    for ni, nest in enumerate(program.nests):
+        for si in range(len(nest.pre)):
+            yield ni, "pre", None, si
+        for li, loop in enumerate(nest.inner):
+            for si in range(len(loop.body)):
+                yield ni, "body", li, si
+        for si in range(len(nest.post)):
+            yield ni, "post", None, si
+
+
+def _delete_stmt(program: FuzzProgram, site) -> FuzzProgram:
+    ni, kind, li, si = site
+    clone = program.clone()
+    nest = clone.nests[ni]
+    if kind == "pre":
+        nest.pre = _without(nest.pre, si)
+    elif kind == "post":
+        nest.post = _without(nest.post, si)
+    else:
+        loop = nest.inner[li]
+        loop.body = _without(loop.body, si)
+    return clone
+
+
+def _drop_empty_loops(program: FuzzProgram) -> FuzzProgram:
+    clone = program.clone()
+    changed = False
+    for nest in clone.nests:
+        kept = [loop for loop in nest.inner if loop.body]
+        if len(kept) != len(nest.inner):
+            nest.inner = kept
+            changed = True
+    clone.nests = [
+        nest
+        for nest in clone.nests
+        if nest.pre or nest.post or nest.inner
+    ]
+    return clone if changed or len(clone.nests) != len(program.nests) else program
+
+
+_REF = re.compile(r"[A-Z]\w*\([^()]*\)|[A-Z]\w*|\d+\.\d+")
+
+
+def _simplify_rhs(rhs: str) -> str | None:
+    """The first operand of a compound rhs, or None when already
+    minimal.  Fold accumulators (``X = X + ...``) keep their shape —
+    collapsing them to the accumulator alone would erase the fold."""
+    refs = _REF.findall(rhs)
+    if len(refs) <= 1:
+        return None
+    first = refs[0]
+    if first in ("ABS", "MAX", "MIN") and len(refs) > 1:
+        first = refs[1]
+    if first == rhs:
+        return None
+    return first
+
+
+def shrink(
+    program: FuzzProgram,
+    still_fails: Callable[[FuzzProgram], bool],
+    *,
+    max_steps: int = 400,
+) -> FuzzProgram:
+    """Greedy fixpoint minimization of ``program`` under
+    ``still_fails`` (which must be True for ``program`` itself)."""
+    current = program
+    steps = 0
+
+    def attempt(candidate: FuzzProgram) -> bool:
+        nonlocal current, steps
+        steps += 1
+        if steps > max_steps:
+            return False
+        if candidate.stmt_count() == 0 and not candidate.nests:
+            return False
+        if still_fails(candidate):
+            current = candidate
+            return True
+        return False
+
+    progress = True
+    while progress and steps <= max_steps:
+        progress = False
+        # 1. whole nests, largest first
+        order = sorted(
+            range(len(current.nests)),
+            key=lambda ni: -len(current.nests[ni].all_stmts()),
+        )
+        for ni in order:
+            if len(current.nests) <= 1:
+                break
+            clone = current.clone()
+            clone.nests = _without(clone.nests, ni)
+            if attempt(clone):
+                progress = True
+                break
+        if progress:
+            continue
+        # 2. single statements
+        for site in list(_stmt_sites(current)):
+            candidate = _drop_empty_loops(_delete_stmt(current, site))
+            if candidate.stmt_count() == 0:
+                continue
+            if attempt(candidate):
+                progress = True
+                break
+        if progress:
+            continue
+        # 3. strip guards / directives / provenance
+        clone = current.clone()
+        changed = False
+        for nest in clone.nests:
+            if nest.independent:
+                nest.independent = False
+                nest.new_vars = ()
+                nest.reduction_vars = ()
+                changed = True
+            for stmt in nest.all_stmts():
+                if stmt.guard is not None:
+                    stmt.guard = None
+                    changed = True
+        if clone.seed is not None:
+            clone.seed = None
+            changed = True
+        if changed and attempt(clone):
+            progress = True
+            continue
+        # ... then one site at a time (the bulk strip usually loses the
+        # bug when a guard or directive is load-bearing)
+        for nest_index, nest in enumerate(current.nests):
+            for stmt_index, stmt in enumerate(nest.all_stmts()):
+                if stmt.guard is None:
+                    continue
+                clone = current.clone()
+                clone.nests[nest_index].all_stmts()[stmt_index].guard = None
+                if attempt(clone):
+                    progress = True
+                    break
+            if progress:
+                break
+        if progress:
+            continue
+        # 4. simplify right-hand sides
+        for nest_index, nest in enumerate(current.nests):
+            for stmt_index, stmt in enumerate(nest.all_stmts()):
+                if stmt.lhs in stmt.rhs:
+                    continue  # keep fold shapes intact
+                simpler = _simplify_rhs(stmt.rhs)
+                if simpler is None:
+                    continue
+                clone = current.clone()
+                clone.nests[nest_index].all_stmts()[stmt_index].rhs = simpler
+                if attempt(clone):
+                    progress = True
+                    break
+            if progress:
+                break
+        if progress:
+            continue
+        # 5. shrink n
+        if current.n > MIN_N:
+            for smaller in (MIN_N, current.n - 1):
+                if smaller >= current.n:
+                    continue
+                if attempt(replace(current.clone(), n=smaller)):
+                    progress = True
+                    break
+    return current

@@ -40,7 +40,7 @@ from typing import Any, Callable
 import numpy as np
 
 from ..comm.analysis import hoisted_loop_vars
-from ..errors import SimulationError
+from ..errors import InterpreterError, MappingError, SimulationError
 from ..ir.expr import (
     ArrayElemRef,
     BinOp,
@@ -59,6 +59,13 @@ _MISSING = object()
 
 class _Bail(Exception):
     """This takeover declines; nothing has been mutated."""
+
+
+#: what a bound expression can legitimately raise at evaluation time
+#: (mirrors lowering's ``_FOLD_ERRORS``): the interpreter's canonical
+#: errors plus numeric-domain failures.  Genuine programming errors —
+#: NameError, TypeError, AttributeError — must propagate, not bail.
+_BOUND_ERRORS = (InterpreterError, ArithmeticError, ValueError, OverflowError)
 
 
 # ---------------------------------------------------------------------------
@@ -1144,7 +1151,7 @@ class _InnerCtx(_Ctx):
             index = tuple(e + lo for e, lo in zip(elem, lows))
             try:
                 cands = acc.candidates(index)
-            except Exception:
+            except MappingError:
                 # the per-iteration path raises the canonical error
                 raise _Bail("owner lookup failed") from None
             src = None
@@ -2032,9 +2039,7 @@ class ColumnPlan:
                 if self.inner.step is not None
                 else 1
             )
-        except _Bail:
-            raise
-        except Exception:
+        except _BOUND_ERRORS:
             raise _Bail("inner bounds not evaluable") from None
         if si == 0:
             raise _Bail("zero inner step")
@@ -2543,9 +2548,7 @@ class TriangularPlan:
                 if self.inner.step is not None
                 else 1
             )
-        except _Bail:
-            raise
-        except Exception:
+        except _BOUND_ERRORS:
             raise _Bail("inner bounds not evaluable") from None
         if si == 0:
             raise _Bail("zero inner step")

@@ -60,6 +60,22 @@ from .spec import SweepJob, SweepResult
 BATCHABLE_MODES = ("simulate", "estimate")
 
 
+def _active_failure(rung: str) -> str:
+    """``"<rung>: <exception summary> at <file:line>"`` for the
+    exception currently being handled — the ``fallback_reason`` carried
+    on every :class:`SweepResult` a degrade rung touches."""
+    import sys
+
+    etype, exc, tb = sys.exc_info()
+    summary = traceback.format_exception_only(etype, exc)[-1].strip()
+    frames = traceback.extract_tb(tb)
+    where = ""
+    if frames:
+        last = frames[-1]
+        where = f" at {last.filename.rsplit('/', 1)[-1]}:{last.lineno}"
+    return f"{rung}: {summary}{where}"
+
+
 # ---------------------------------------------------------------------------
 # Planning
 # ---------------------------------------------------------------------------
@@ -380,21 +396,27 @@ def run_batched(
         if on_result is not None:
             on_result(result)
 
-    def _fall_back(sub: Batch) -> None:
+    def _fall_back(sub: Batch, rung: str) -> None:
         """A rung of the degrade ladder: run each of the sub-batch's
         lanes the ordinary scalar way, in-process (mirrors the pool's
         serial fallback — the fast path may lose speed, never a
-        point)."""
+        point).  Every result carries why its batch evaluation failed
+        (``fallback_reason``), and the per-rung lane counter makes
+        silent degradation visible in metrics."""
+        reason = _active_failure(rung)
         _inc("sweep.batched_fallbacks")
+        _inc(f"sweep.lane_fallback[reason={rung}]", len(sub.jobs))
         tracer.instant(
             "sweep.batch_fallback",
             cat="sweep",
             label=sub.jobs[0].label,
+            rung=rung,
             error=traceback.format_exc(limit=1),
         )
         for index, job in zip(sub.indices, sub.jobs):
             result = execute_job(job, manager=manager, cache=cache, memo=memo)
             result.worker = "batched-fallback"
+            result.fallback_reason = reason
             _emit(index, result)
 
     for batch in batches:
@@ -410,6 +432,9 @@ def run_batched(
             #: batch lane -> measurement payload / (cache_hit, dedup)
             payloads: dict[int, dict] = {}
             flags: dict[int, tuple[bool, bool]] = {}
+            #: batch lane -> why a degrade rung touched it (the lanes
+            #: stayed batched but not on the rung first attempted)
+            reasons: dict[int, str] = {}
             try:
                 evaluated = []  # (lanes, sub, compiled, sim|None)
                 for lanes in groups:
@@ -428,7 +453,7 @@ def run_batched(
                             else None
                         )
                     except Exception:
-                        _fall_back(sub)
+                        _fall_back(sub, "lane-eval")
                         continue
                     evaluated.append((lanes, sub, compiled, sim))
                     for pos, lane in enumerate(lanes):
@@ -443,14 +468,22 @@ def run_batched(
                         # byte-identical either way: adoption copies
                         # columns, so per-sub-group extraction is a
                         # safe rung below the fused one
+                        reason = _active_failure("fuse")
                         payloads = {}
                         for lanes, _sub, compiled, sim in evaluated:
                             extracted = _simulate_payloads(
                                 sim, compiled, sim.clocks, range(len(lanes))
                             )
                             payloads.update(zip(lanes, extracted))
+                            reasons.update((lane, reason) for lane in lanes)
+                        _inc(
+                            "sweep.lane_fallback[reason=fuse]",
+                            len(reasons),
+                        )
                 elif evaluated:
-                    payloads = _try_estimates(evaluated, flags, _fall_back)
+                    payloads = _try_estimates(
+                        evaluated, flags, _fall_back, reasons, _inc
+                    )
             except Exception:
                 # last-resort rung: planning/extraction bugs degrade
                 # whatever has not been emitted yet to per-lane runs
@@ -460,7 +493,7 @@ def run_batched(
                     if batch.indices[i] not in results
                 ]
                 if pending:
-                    _fall_back(_sub_batch(batch, pending))
+                    _fall_back(_sub_batch(batch, pending), "batch")
                 continue
             # the batch's wall clock, amortized over its lanes
             per_lane = (time.perf_counter() - started) / len(batch)
@@ -486,6 +519,7 @@ def run_batched(
                     compile_dedup=deduped,
                     duration_s=per_lane,
                     procs_lanes=len(groups),
+                    fallback_reason=reasons.get(lane),
                 )
                 for name, value in payloads[lane].items():
                     setattr(result, name, value)
@@ -493,11 +527,14 @@ def run_batched(
     return results
 
 
-def _try_estimates(evaluated, flags, fall_back) -> dict[int, dict]:
+def _try_estimates(evaluated, flags, fall_back, reasons, inc) -> dict[int, dict]:
     """The estimate-mode ladder: one fused procs-lane estimator call
     when every sub-group shares an estimate signature, per-sub-group
     vectorized estimates otherwise (or when fusing fails), per-lane
-    fallback for a sub-group whose estimator itself raises."""
+    fallback for a sub-group whose estimator itself raises.  Degrades
+    record why: ``reasons`` (batch lane -> reason) feeds the
+    ``fallback_reason`` of results that stayed batched on a lower rung,
+    and each rung bumps its ``sweep.lane_fallback[reason=...]`` lanes."""
     if len(evaluated) > 1:
         from ..perf.estimator import estimate_signature
 
@@ -509,7 +546,13 @@ def _try_estimates(evaluated, flags, fall_back) -> dict[int, dict]:
             if len(signatures) == 1:
                 return _estimate_procs_lanes(evaluated)
         except Exception:
-            pass  # fall through to per-sub-group estimates
+            # fall through to per-sub-group estimates
+            reason = _active_failure("estimate-fuse")
+            affected = [
+                lane for lanes, _sub, _c, _s in evaluated for lane in lanes
+            ]
+            reasons.update((lane, reason) for lane in affected)
+            inc("sweep.lane_fallback[reason=estimate-fuse]", len(affected))
     payloads: dict[int, dict] = {}
     for lanes, sub, compiled, _sim in evaluated:
         try:
@@ -517,7 +560,8 @@ def _try_estimates(evaluated, flags, fall_back) -> dict[int, dict]:
         except Exception:
             for lane in lanes:
                 flags.pop(lane, None)
-            fall_back(sub)
+                reasons.pop(lane, None)
+            fall_back(sub, "estimate")
             continue
         payloads.update(zip(lanes, extracted))
     return payloads

@@ -178,6 +178,9 @@ class SweepResult:
     #: in (1: a dedicated or single-procs evaluation; >1: the procs
     #: axis itself was a lane dimension of one batch)
     procs_lanes: int = 1
+    #: why this point left (or degraded within) the batched fast path:
+    #: ``"<rung>: <exception summary>"``, None when no rung fired
+    fallback_reason: str | None = None
     #: processor-grid size the compiled program actually ran on
     grid_size: int | None = None
 
@@ -215,6 +218,8 @@ class SweepResult:
             "procs_lanes": self.procs_lanes,
             "grid_size": self.grid_size,
         }
+        if self.fallback_reason is not None:
+            record["fallback_reason"] = self.fallback_reason
         for name in (
             "total_time",
             "compute_time",

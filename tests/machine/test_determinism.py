@@ -202,3 +202,96 @@ END PROGRAM
         compiled = compile_source(src, CompilerOptions())
         sim = simulate(compiled, {"A": np.zeros(8)})
         assert np.all(sim.gather("A") == 2.0)
+
+
+class TestNarrowedSlabGuards:
+    """The three remaining slab-side guards (inner-bound evaluation in
+    ColumnPlan/TriangularPlan.prepare, owner lookup in the vectorized
+    fetch path) bail only on their canonical error types; programming
+    errors propagate."""
+
+    @staticmethod
+    def _patch_eval_bound(monkeypatch, exc):
+        import sys
+
+        from repro.machine import lowering
+
+        original = lowering.FastPath.eval_bound
+
+        def sabotaged(self, expr, env):
+            if "Plan.prepare" in sys._getframe(1).f_code.co_qualname:
+                raise exc
+            return original(self, expr, env)
+
+        monkeypatch.setattr(lowering.FastPath, "eval_bound", sabotaged)
+
+    def test_nameerror_in_inner_bound_eval_propagates(
+        self, compiled, inputs, monkeypatch
+    ):
+        self._patch_eval_bound(
+            monkeypatch, NameError("injected bug in bound lowering")
+        )
+        with pytest.raises(NameError):
+            simulate(compiled, inputs, fast_path=True, slab_path=True)
+
+    def test_interpreter_error_in_inner_bound_eval_bails(
+        self, compiled, inputs, monkeypatch
+    ):
+        from repro.errors import InterpreterError
+        from repro.obs import Metrics
+
+        self._patch_eval_bound(
+            monkeypatch, InterpreterError("bound not evaluable here")
+        )
+        metrics = Metrics()
+        sim = simulate(
+            compiled, inputs, fast_path=True, slab_path=True,
+            metrics=metrics,
+        )
+        reference = simulate(compiled, inputs, fast_path=False)
+        assert _observables(sim) == _observables(reference)
+        assert metrics.counters[
+            "slab.bail[inner bounds not evaluable]"
+        ] >= 1
+
+    @staticmethod
+    def _patch_candidates(monkeypatch, exc):
+        import sys
+
+        from repro.machine import lowering
+
+        original = lowering._ArrayAccess.candidates
+
+        def sabotaged(self, index):
+            if "_fetch_read" in sys._getframe(1).f_code.co_qualname:
+                raise exc
+            return original(self, index)
+
+        monkeypatch.setattr(lowering._ArrayAccess, "candidates", sabotaged)
+
+    def test_typeerror_in_owner_lookup_propagates(
+        self, compiled, inputs, monkeypatch
+    ):
+        self._patch_candidates(
+            monkeypatch, TypeError("injected bug in owner lookup")
+        )
+        with pytest.raises(TypeError):
+            simulate(compiled, inputs, fast_path=True, slab_path=True)
+
+    def test_mapping_error_in_owner_lookup_bails(
+        self, compiled, inputs, monkeypatch
+    ):
+        from repro.errors import MappingError
+        from repro.obs import Metrics
+
+        self._patch_candidates(
+            monkeypatch, MappingError("index outside the template")
+        )
+        metrics = Metrics()
+        sim = simulate(
+            compiled, inputs, fast_path=True, slab_path=True,
+            metrics=metrics,
+        )
+        reference = simulate(compiled, inputs, fast_path=False)
+        assert _observables(sim) == _observables(reference)
+        assert metrics.counters["slab.bail[owner lookup failed]"] >= 1

@@ -308,3 +308,40 @@ class TestCalibrateCommand:
         }
         assert all(v > 0 for v in payload["constants"].values())
         assert len(payload["samples"]) == 5
+
+
+class TestFuzz:
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert main(["fuzz", "--count", "4", "--sweep-every", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 programs checked" in out
+        assert "0 divergent" in out
+
+    def test_divergent_campaign_exits_nonzero(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        from repro.fuzz import harness as harness_mod
+        from repro.fuzz import runner as runner_mod
+
+        real = harness_mod.check_tiers
+
+        def broken(source, procs, **kwargs):
+            divergences, reference = real(source, procs, **kwargs)
+            if procs == 3:
+                divergences = divergences + [
+                    harness_mod.Divergence(
+                        kind="clocks", detail="injected", procs=procs
+                    )
+                ]
+            return divergences, reference
+
+        monkeypatch.setattr(harness_mod, "check_tiers", broken)
+        artifacts = tmp_path / "artifacts"
+        assert main([
+            "fuzz", "--count", "1", "--sweep-every", "0",
+            "--shrink-steps", "5", "--artifacts", str(artifacts),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "1 divergent" in out
+        assert (artifacts / "findings.json").exists()
+        assert list(artifacts.glob("divergence_*.hpf"))
