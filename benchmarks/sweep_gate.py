@@ -79,6 +79,7 @@ from repro.programs import (  # noqa: E402
     dgefa_source,
     tomcatv_source,
 )
+from repro.records import comparable  # noqa: E402
 from repro.sweep import SweepJob, SweepSpec, run_sweep  # noqa: E402
 
 #: seven machine-parameter ablations around the SP2 baseline — the
@@ -141,10 +142,11 @@ def check_pass_pair(name, jobs, cold, warm, failures):
 
 
 def stats_payload(results) -> bytes:
-    """The deterministic record the stats grid is byte-compared on."""
+    """The deterministic record the stats grid is byte-compared on:
+    the shared repro.records schema with volatile provenance fields
+    (worker, timings, cache hits) stripped."""
     return json.dumps(
-        [{"label": r.label, "stats": r.canonical_stats} for r in results],
-        sort_keys=True,
+        [comparable(r.as_dict()) for r in results], sort_keys=True
     ).encode("utf-8")
 
 

@@ -25,6 +25,7 @@ regeneration of the paper's tables.
 """
 
 from .api import RunResult, Session
+from .api import __all__ as _API_ALL
 from .codegen import SequentialInterpreter, print_spmd, run_sequential
 from .comm import SP2, MachineModel
 from .core import (
@@ -52,34 +53,40 @@ from .ir import Procedure, parse_and_build
 from .lang import parse_program
 from .machine import SPMDSimulator, simulate
 from .mapping import ProcessorGrid
-from .perf import PerfEstimator, estimate_performance
-from .report import all_tables, table1_tomcatv, table2_dgefa, table3_appsp
+from .perf import PerfEstimator
+from .records import RESULT_SCHEMA, comparable, result_record
+from .report import table1_tomcatv, table2_dgefa, table3_appsp
+from .service import Catalog, JobHandle, SweepService
 from .sweep import SweepJob, SweepResult, SweepSpec, run_sweep
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+# The supported surface is api.__all__ (the Session facade and its
+# types) plus the groups below; everything else is internal.
 __all__ = [
-    "RunResult",
-    "Session",
-    "SweepJob",
-    "SweepResult",
-    "SweepSpec",
-    "run_sweep",
-    "CompileCache",
+    *_API_ALL,
+    # persistent sweep service
+    "Catalog",
+    "JobHandle",
+    "SweepService",
+    # shared result-record schema
+    "RESULT_SCHEMA",
+    "comparable",
+    "result_record",
+    # codegen / validation
     "SequentialInterpreter",
     "print_spmd",
     "run_sequential",
+    # machine models
     "SP2",
     "MachineModel",
+    # compiler internals (stable subset)
     "AlignedTo",
     "AnalysisCache",
     "AnalysisContext",
     "ArrayPrivatization",
     "BatchJob",
-    "CompiledProgram",
-    "CompilerOptions",
     "FullyReplicatedReduction",
-    "PassManager",
     "PipelineTimings",
     "PrivateNoAlign",
     "Replicated",
@@ -88,16 +95,14 @@ __all__ = [
     "build_context",
     "compile_many",
     "compile_procedure",
-    "compile_source",
     "Procedure",
     "parse_and_build",
     "parse_program",
     "SPMDSimulator",
     "simulate",
     "ProcessorGrid",
+    # perf + report
     "PerfEstimator",
-    "estimate_performance",
-    "all_tables",
     "table1_tomcatv",
     "table2_dgefa",
     "table3_appsp",

@@ -34,6 +34,23 @@ if TYPE_CHECKING:
     from .model import MachineModel
     from .obs import Metrics, Tracer
     from .perf.estimator import PerfEstimate
+    from .service import JobHandle, SweepService
+
+#: the supported programmatic surface (re-exported from :mod:`repro`);
+#: anything not listed here is internal and may move between versions
+__all__ = [
+    "CompileCache",
+    "CompiledProgram",
+    "CompilerOptions",
+    "PassManager",
+    "RunResult",
+    "Session",
+    "SweepJob",
+    "SweepResult",
+    "SweepSpec",
+    "compile_source",
+    "run_sweep",
+]
 
 
 @dataclass
@@ -86,6 +103,31 @@ class RunResult:
         """Deterministic clocks + traffic record (the CI determinism
         gate byte-compares two of these)."""
         return self.sim.canonical_stats()
+
+    def as_dict(self) -> dict:
+        """Flat JSON record in the shared :mod:`repro.records` schema
+        (same field names as ``SweepResult.as_dict`` and job
+        records)."""
+        from .records import result_record, tiers_of
+
+        stats = self.canonical_stats()
+        record = result_record(
+            "run",
+            program=self.compiled.proc.name,
+            procs=self.compiled.options.num_procs,
+            ok=self.ok,
+            matches=self.matches,
+            cache_hit=self.cache_hit,
+            elapsed_s=self.elapsed,
+            messages=self.messages,
+            fetches=self.fetches,
+            unexpected_fetches=self.unexpected_fetches,
+            canonical_stats=stats,
+        )
+        tiers = tiers_of(stats)
+        if tiers is not None:
+            record["tiers"] = tiers
+        return record
 
 
 class Session:
@@ -286,6 +328,40 @@ class Session:
             metrics=self.metrics,
             on_result=on_result,
             mode=mode,
+        )
+
+    def submit(
+        self,
+        spec: SweepSpec | Iterable[SweepJob],
+        *,
+        service: "SweepService | str | os.PathLike | None" = None,
+        name: str = "",
+        exec_mode: str = "auto",
+        shards: int | None = None,
+    ) -> "JobHandle":
+        """Submit an experiment grid to the persistent sweep service
+        and return a :class:`~repro.service.JobHandle` immediately.
+
+        Unlike :meth:`sweep`, nothing is evaluated here: the grid is
+        persisted to the service's durable queue and runs wherever a
+        worker loop (``repro serve``) drains it — surviving client and
+        worker restarts, with every finished point recorded in the
+        artifact catalog.  ``service`` is a ready
+        :class:`~repro.service.SweepService` or a service directory
+        (default: the session cache root's ``service/`` sibling).
+        ``handle.result()`` blocks for the ordered results;
+        ``handle.poll()`` / ``handle.stream_events()`` observe
+        progress."""
+        from .service import SweepService
+
+        if not isinstance(service, SweepService):
+            service = SweepService(
+                service,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
+        return service.submit(
+            spec, name=name, exec_mode=exec_mode, shards=shards
         )
 
     # -- bookkeeping -------------------------------------------------------

@@ -6,9 +6,14 @@ Usage (also via ``python -m repro``)::
     repro estimate PROGRAM.hpf [--procs 1 2 4 8 16] [...]
     repro run PROGRAM.hpf [--procs 4] [--seed 0] [--trace out.json]
               [--tier auto|interpreted|lowered|slab]
-              [--metrics] [--metrics-json m.json] [--stats-json s.json]
+              [--metrics] [--json out.json]
+    repro sweep PROGRAM.hpf [--procs 2 4] [--axis FIELD=V1,V2]
+              [--measure simulate] [--exec auto] [--json]
     repro tables [--table 1 2 3] [--fast]
     repro cache stats|clear [--cache-dir DIR]
+    repro serve [--service-dir DIR] [--backend inline|pool[:N]] [--once]
+    repro jobs submit|status|watch|cancel [...]
+    repro catalog ls|show|gc [...]
 
 ``compile`` prints the mapping report (and optionally the SPMD
 pseudo-code); ``estimate`` sweeps processor counts with the analytic
@@ -16,7 +21,20 @@ SP2-class model; ``run`` executes the program on the simulated machine
 with random inputs and cross-checks the sequential interpreter;
 ``tables`` regenerates the paper's evaluation tables; ``cache``
 manages the persistent compile cache (opt in per command with
-``--disk-cache`` or ``--cache-dir DIR``).
+``--disk-cache`` or ``--cache-dir DIR``).  ``serve``/``jobs``/
+``catalog`` drive the persistent sweep service (durable queue +
+artifact catalog under ``--service-dir``): submit an experiment grid
+once, run any number of ``repro serve`` workers against it, watch it
+finish, and query what was measured.
+
+Flag conventions (old spellings stay as hidden aliases):
+
+* ``--json [OUT]`` — machine-readable output everywhere: bare
+  ``--json`` prints to stdout, ``--json OUT`` writes the file.
+* ``--measure`` — *what* each sweep point measures
+  (estimate/simulate/compile; was ``--sweep-mode``).
+* ``--exec`` — *how* the grid executes (auto/pool/batched; was
+  ``--mode``).
 
 Every subcommand is a thin shell over :class:`repro.api.Session` —
 the CLI parses flags into session configuration and formats what the
@@ -132,6 +150,45 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
         help="root the persistent compile cache at DIR (implies "
         "--disk-cache)",
     )
+
+
+def _add_json_flag(
+    parser: argparse.ArgumentParser,
+    help: str = "emit machine-readable JSON: bare --json prints to "
+    "stdout, --json OUT writes the file",
+) -> None:
+    """The one ``--json [OUT]`` convention: absent → human output,
+    bare → JSON on stdout, with a path → JSON written to OUT."""
+    parser.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="OUT",
+        help=help,
+    )
+
+
+def _emit_json(args, payload) -> None:
+    import json
+
+    text = json.dumps(payload, indent=1, sort_keys=True, default=str)
+    if args.json == "-":
+        print(text)
+    else:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+def _add_service_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--service-dir", metavar="DIR", default=None,
+        help="service root holding queue.sqlite, catalog.sqlite and the "
+        "compile cache (default: $REPRO_SERVICE_DIR or "
+        "<cache root>/service)",
+    )
+
+
+def _service(args, **kwargs):
+    from .service import SweepService
+
+    return SweepService(getattr(args, "service_dir", None), **kwargs)
 
 
 def _read_source(path: str) -> str:
@@ -279,6 +336,8 @@ def cmd_run(args) -> int:
         with open(stats_path, "w", encoding="utf-8") as handle:
             json.dump(result.canonical_stats(), handle, indent=1, sort_keys=True)
             handle.write("\n")
+    if getattr(args, "json", None):
+        _emit_json(args, result.as_dict())
     return 0 if result.ok else 1
 
 
@@ -346,37 +405,44 @@ def _parse_axis(spec: str):
     return field_name, tuple(values)
 
 
-def cmd_sweep(args) -> int:
-    import json
+def _build_spec(args, session) -> SweepSpec:
+    """The sweep/jobs-submit grid from the parsed flags."""
     import os
 
-    session = _session(args)
     programs = {}
     for path in args.programs:
         name = os.path.basename(path) if path != "-" else "stdin"
         programs[name] = _read_source(path)
     axes = dict(_parse_axis(spec) for spec in (args.axis or []))
-    spec = SweepSpec(
+    return SweepSpec(
         programs=programs,
         procs=tuple(args.procs) if args.procs else (None,),
         axes=axes,
         base=session.options,
-        mode=args.sweep_mode,
+        mode=args.measure,
         seed=args.seed,
     )
-    results = session.sweep(spec, workers=args.workers, mode=args.mode)
+
+
+def cmd_sweep(args) -> int:
+    session = _session(args)
+    spec = _build_spec(args, session)
+    results = session.sweep(spec, workers=args.workers, mode=args.exec_mode)
+    return _render_sweep_results(args, results)
+
+
+def _render_sweep_results(args, results) -> int:
     failed = [r for r in results if not r.ok]
     if args.json:
-        print(json.dumps([r.as_dict() for r in results], indent=1,
-                         sort_keys=True))
+        _emit_json(args, [r.as_dict() for r in results])
         return 1 if failed else 0
-    if args.sweep_mode == "estimate":
+    if args.measure == "estimate":
         print(f"{'label':40s} {'total':>12} {'compute':>12} {'comm':>12}")
         for r in results:
             if r.ok:
                 print(f"{r.label:40s} {r.total_time:>11.4f}s "
                       f"{r.compute_time:>11.4f}s {r.comm_time:>11.4f}s")
-    elif args.sweep_mode == "simulate":
+    elif args.measure == "simulate":
         print(f"{'label':40s} {'elapsed':>12} {'msgs':>8} {'fetches':>9} "
               f"{'slab':>6} {'via':>18}")
         for r in results:
@@ -401,15 +467,13 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_calibrate(args) -> int:
-    import json
-
     from .perf.calibrate import calibrate, save_calibration
 
     result = calibrate(
         repeats=args.repeats, verbose=args.verbose
     )
     if args.json:
-        print(json.dumps(result.as_dict(), indent=1, sort_keys=True))
+        _emit_json(args, result.as_dict())
     else:
         print(result.render())
     if getattr(args, "save", False):
@@ -428,7 +492,10 @@ def cmd_cache(args) -> int:
     if args.action == "stats":
         stats = cache.stats_dict()
         del stats["session"]  # a fresh process has no activity yet
-        print(json.dumps(stats, indent=1, sort_keys=True))
+        if getattr(args, "json", None) and args.json != "-":
+            _emit_json(args, stats)
+        else:
+            print(json.dumps(stats, indent=1, sort_keys=True))
     else:  # clear
         removed = cache.clear()
         print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
@@ -453,6 +520,226 @@ def cmd_fuzz(args) -> int:
     if report.findings and args.artifacts:
         print(f"minimized reproducers written to {args.artifacts}/")
     return 0 if report.ok else 1
+
+
+def _add_grid_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared grid-definition surface of ``sweep`` and ``jobs
+    submit``: programs, procs, option axes, what to measure and how to
+    execute it."""
+    parser.add_argument(
+        "programs", nargs="+", help="mini-HPF source file(s)"
+    )
+    _add_option_flags(parser)
+    parser.add_argument(
+        "--procs", type=int, nargs="+", default=None,
+        help="processor counts to sweep (default: each source's "
+        "PROCESSORS directive)",
+    )
+    parser.add_argument(
+        "--axis", action="append", metavar="FIELD=V1,V2",
+        help="sweep a CompilerOptions field (repeatable), e.g. "
+        "--axis strategy=selected,producer",
+    )
+    parser.add_argument(
+        "--measure", choices=["estimate", "simulate", "compile"],
+        default="simulate", dest="measure",
+        help="what each grid point measures (default: simulate)",
+    )
+    parser.add_argument(  # old spelling of --measure
+        "--sweep-mode", choices=["estimate", "simulate", "compile"],
+        dest="measure", default=argparse.SUPPRESS, help=argparse.SUPPRESS,
+    )
+    parser.add_argument(
+        "--exec", choices=["auto", "pool", "batched"], default="auto",
+        dest="exec_mode",
+        help="execution strategy: batched fuses points differing only "
+        "in machine parameters or processor count into one vectorized "
+        "evaluation (default: auto)",
+    )
+    parser.add_argument(  # old spelling of --exec
+        "--mode", choices=["auto", "pool", "batched"], dest="exec_mode",
+        default=argparse.SUPPRESS, help=argparse.SUPPRESS,
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    _add_json_flag(
+        parser,
+        help="emit the full result records (shared repro.records "
+        "schema); bare --json prints to stdout, --json OUT writes it",
+    )
+
+
+def cmd_serve(args) -> int:
+    service = _service(
+        args,
+        backend=args.backend,
+        lease_ttl=args.lease_ttl,
+    )
+    try:
+        processed = service.serve_forever(
+            poll=args.poll,
+            once=args.once,
+            max_shards=args.max_shards,
+            idle_timeout=args.idle_timeout,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted; leases will expire", file=sys.stderr)
+        return 130
+    finally:
+        service.close()
+    print(f"served {processed} shard(s) from {service.root}")
+    return 0
+
+
+def cmd_jobs_submit(args) -> int:
+    session = _session(args)
+    service = _service(args, cache=session.cache or None)
+    spec = _build_spec(args, session)
+    handle = service.submit(
+        spec,
+        name=args.name or "",
+        exec_mode=args.exec_mode,
+        shards=args.shards,
+    )
+    status = handle.poll()
+    if not args.wait:
+        if args.json:
+            _emit_json(args, status.as_dict())
+        else:
+            print(
+                f"submitted job {handle.job_id} ({status.n_points} points, "
+                f"{status.n_shards} shards) to {service.root}; run 'repro "
+                f"serve --service-dir {service.root}' to evaluate it"
+            )
+        service.close()
+        return 0
+    # --wait drains the queue from this process (inline worker) while
+    # blocking for the result — handy for scripts and tests
+    service.serve_forever(once=True)
+    try:
+        results = handle.result(timeout=args.timeout)
+    except Exception as error:
+        print(f"job {handle.job_id}: {error}", file=sys.stderr)
+        service.close()
+        return 1
+    code = _render_sweep_results(args, results)
+    service.close()
+    return code
+
+
+def cmd_jobs_status(args) -> int:
+    service = _service(args)
+    try:
+        if args.job_id is not None:
+            payload = [service.queue.status(args.job_id)]
+        else:
+            payload = service.queue.list_jobs()
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        service.close()
+        return 1
+    if args.json:
+        records = [status.as_dict() for status in payload]
+        _emit_json(args, records[0] if args.job_id is not None else records)
+    else:
+        print(f"{'id':>4} {'state':>10} {'points':>12} {'reused':>7} "
+              f"{'shards':>8} name")
+        for status in payload:
+            print(
+                f"{status.job_id:>4} {status.state:>10} "
+                f"{status.done:>5}/{status.n_points:<6} "
+                f"{status.reused:>7} "
+                f"{status.shards_done:>3}/{status.n_shards:<4} "
+                f"{status.name}"
+            )
+    service.close()
+    return 0
+
+
+def cmd_jobs_watch(args) -> int:
+    service = _service(args)
+    try:
+        handle = service.handle(args.job_id)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        service.close()
+        return 1
+    last_kind = None
+    for event in handle.stream_events(timeout=args.timeout):
+        print(event.render())
+        last_kind = event.kind
+    service.close()
+    if last_kind == "done":
+        return 0
+    if last_kind in ("failed", "cancelled"):
+        return 1
+    print(f"job {args.job_id} still running after {args.timeout}s",
+          file=sys.stderr)
+    return 2
+
+
+def cmd_jobs_cancel(args) -> int:
+    service = _service(args)
+    cancelled = service.queue.cancel(args.job_id)
+    if cancelled:
+        print(f"cancelled job {args.job_id}")
+    else:
+        print(f"job {args.job_id} is already terminal (or unknown)",
+              file=sys.stderr)
+    service.close()
+    return 0 if cancelled else 1
+
+
+def cmd_catalog(args) -> int:
+    service = _service(args)
+    catalog = service.catalog
+    code = 0
+    if args.action == "ls":
+        rows = catalog.ls(args.kind)
+        if args.json:
+            _emit_json(args, {"stats": catalog.stats_dict(), "rows": rows})
+        else:
+            for row in rows:
+                key = row.get("key") or row.get("point_key") or row.get("path")
+                tag = row["table"]
+                use = row.get("uses", row.get("reuses", ""))
+                print(f"{tag:>12}  {str(key)[:20]:20s}  "
+                      f"{row.get('program', ''):12s}  uses={use}")
+            stats = catalog.stats_dict()
+            print(f"{stats['artifacts']['entries']} artifact(s), "
+                  f"{stats['results']['entries']} result(s), "
+                  f"{stats['calibrations']} calibration(s)")
+    elif args.action == "show":
+        try:
+            record = catalog.show(args.key)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            service.close()
+            return 1
+        if args.json:
+            _emit_json(args, record)
+        else:
+            for name, value in record.items():
+                if name == "record":
+                    continue
+                print(f"{name:20s} {value}")
+            if "record" in record:
+                print("record:")
+                import json as _json
+
+                print(_json.dumps(record["record"], indent=1, sort_keys=True))
+    else:  # gc
+        removed = catalog.gc(
+            max_age_days=args.max_age_days, dry_run=args.dry_run
+        )
+        verb = "would remove" if args.dry_run else "removed"
+        if args.json:
+            _emit_json(args, {"dry_run": args.dry_run, **removed})
+        else:
+            print(f"{verb} {removed['orphans']} orphan(s), "
+                  f"{removed['aged_artifacts']} aged artifact(s), "
+                  f"{removed['aged_results']} aged result(s)")
+    service.close()
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -520,45 +807,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="write canonical clocks + traffic stats JSON "
         "(the CI determinism gate diffs two of these)",
     )
+    _add_json_flag(
+        p_run,
+        help="write the full run record (shared repro.records schema); "
+        "bare --json prints to stdout",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_sweep = sub.add_parser(
         "sweep",
         help="run an experiment grid (programs x procs x option axes)",
     )
-    p_sweep.add_argument(
-        "programs", nargs="+", help="mini-HPF source file(s)"
-    )
-    _add_option_flags(p_sweep)
-    p_sweep.add_argument(
-        "--procs", type=int, nargs="+", default=None,
-        help="processor counts to sweep (default: each source's "
-        "PROCESSORS directive)",
-    )
-    p_sweep.add_argument(
-        "--axis", action="append", metavar="FIELD=V1,V2",
-        help="sweep a CompilerOptions field (repeatable), e.g. "
-        "--axis strategy=selected,producer",
-    )
-    p_sweep.add_argument(
-        "--sweep-mode", choices=["estimate", "simulate", "compile"],
-        default="simulate",
-        help="what each grid point measures (default: simulate)",
-    )
-    p_sweep.add_argument(
-        "--mode", choices=["auto", "pool", "batched"], default="auto",
-        help="execution strategy: batched fuses points differing only "
-        "in machine parameters or processor count into one vectorized "
-        "evaluation (default: auto)",
-    )
+    _add_grid_flags(p_sweep)
     p_sweep.add_argument(
         "--workers", type=int, default=None,
         help="pool size for non-batched points (0: serial in-process)",
-    )
-    p_sweep.add_argument("--seed", type=int, default=0)
-    p_sweep.add_argument(
-        "--json", action="store_true",
-        help="print the full result records as JSON",
     )
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -575,7 +838,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the fit under the cache root so sessions (and "
         "tierplan) apply it by default",
     )
-    p_cal.add_argument("--json", action="store_true")
+    _add_json_flag(p_cal)
     p_cal.add_argument("--verbose", action="store_true")
     _add_cache_flags(p_cal)
     p_cal.set_defaults(func=cmd_calibrate)
@@ -590,6 +853,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache root (default: ~/.cache/repro or $REPRO_CACHE_DIR)",
     )
+    _add_json_flag(p_cache)
     p_cache.set_defaults(func=cmd_cache)
 
     p_tables = sub.add_parser("tables", help="regenerate the paper's tables")
@@ -630,6 +894,129 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fuzz.add_argument("--verbose", action="store_true")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run a sweep-service worker loop against the durable queue",
+    )
+    _add_service_flags(p_serve)
+    p_serve.add_argument(
+        "--backend", default="inline", metavar="NAME[:N]",
+        help="worker backend: 'inline' (in-process, default) or "
+        "'pool[:N]' (supervised N-process pool)",
+    )
+    p_serve.add_argument(
+        "--once", action="store_true",
+        help="drain the queue and exit instead of waiting for new work",
+    )
+    p_serve.add_argument(
+        "--poll", type=float, default=0.2,
+        help="idle polling interval in seconds (default: 0.2)",
+    )
+    p_serve.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="S",
+        help="exit after S seconds with nothing claimable",
+    )
+    p_serve.add_argument(
+        "--max-shards", type=int, default=None, metavar="N",
+        help="exit after processing N shards",
+    )
+    p_serve.add_argument(
+        "--lease-ttl", type=float, default=60.0, metavar="S",
+        help="shard lease duration in seconds (default: 60)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="submit and track durable sweep jobs"
+    )
+    jobs_sub = p_jobs.add_subparsers(dest="jobs_command", required=True)
+
+    p_submit = jobs_sub.add_parser(
+        "submit", help="persist an experiment grid as a durable job"
+    )
+    _add_grid_flags(p_submit)
+    _add_service_flags(p_submit)
+    p_submit.add_argument(
+        "--name", default=None, help="human-readable job name"
+    )
+    p_submit.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="partition the grid into N shards (default: one per "
+        "fusion group)",
+    )
+    p_submit.add_argument(
+        "--wait", action="store_true",
+        help="evaluate the job in this process and print the results "
+        "(like 'repro sweep', but through the durable queue + catalog)",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="with --wait: give up after S seconds",
+    )
+    p_submit.set_defaults(func=cmd_jobs_submit)
+
+    p_status = jobs_sub.add_parser(
+        "status", help="one job's progress, or every job in the queue"
+    )
+    p_status.add_argument("job_id", type=int, nargs="?", default=None)
+    _add_service_flags(p_status)
+    _add_json_flag(p_status)
+    p_status.set_defaults(func=cmd_jobs_status)
+
+    p_watch = jobs_sub.add_parser(
+        "watch", help="tail a job's event log until it finishes"
+    )
+    p_watch.add_argument("job_id", type=int)
+    p_watch.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="stop tailing after S seconds (exit code 2)",
+    )
+    _add_service_flags(p_watch)
+    p_watch.set_defaults(func=cmd_jobs_watch)
+
+    p_cancel = jobs_sub.add_parser("cancel", help="cancel a job")
+    p_cancel.add_argument("job_id", type=int)
+    _add_service_flags(p_cancel)
+    p_cancel.set_defaults(func=cmd_jobs_cancel)
+
+    p_catalog = sub.add_parser(
+        "catalog", help="inspect the service's artifact catalog"
+    )
+    catalog_sub = p_catalog.add_subparsers(
+        dest="catalog_command", required=True
+    )
+
+    p_ls = catalog_sub.add_parser(
+        "ls", help="list catalogued artifacts, results, calibrations"
+    )
+    p_ls.add_argument(
+        "--kind", choices=["all", "artifacts", "results", "calibrations"],
+        default="all",
+    )
+    _add_service_flags(p_ls)
+    _add_json_flag(p_ls)
+    p_ls.set_defaults(func=cmd_catalog, action="ls")
+
+    p_show = catalog_sub.add_parser(
+        "show", help="full detail of one entry (key prefix match)"
+    )
+    p_show.add_argument("key")
+    _add_service_flags(p_show)
+    _add_json_flag(p_show)
+    p_show.set_defaults(func=cmd_catalog, action="show")
+
+    p_gc = catalog_sub.add_parser(
+        "gc", help="drop orphaned and aged catalog entries"
+    )
+    p_gc.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="also drop entries unused for DAYS (and their cache files)",
+    )
+    p_gc.add_argument("--dry-run", action="store_true")
+    _add_service_flags(p_gc)
+    _add_json_flag(p_gc)
+    p_gc.set_defaults(func=cmd_catalog, action="gc")
     return parser
 
 

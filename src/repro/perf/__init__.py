@@ -7,7 +7,6 @@ from .estimator import (
     PerfEstimate,
     PerfEstimator,
     StmtCost,
-    estimate_performance,
 )
 from .tierplan import NestDecision, TierPlan, build_tierplan
 
@@ -19,7 +18,6 @@ __all__ = [
     "PerfEstimate",
     "PerfEstimator",
     "StmtCost",
-    "estimate_performance",
     "NestDecision",
     "TierPlan",
     "build_tierplan",

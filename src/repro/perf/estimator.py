@@ -758,21 +758,3 @@ def estimate_signature(compiled: CompiledProgram) -> tuple:
     )
     return (compiled.grid.rank, executors, events, reduces)
 
-
-def estimate_performance(
-    compiled: CompiledProgram, machine: MachineModel | None = None
-) -> PerfEstimate:
-    """.. deprecated::
-        Use :meth:`repro.Session.estimate` (which also accepts source
-        text and compiles through the session cache), or instantiate
-        :class:`PerfEstimator` directly for low-level control.
-    """
-    import warnings
-
-    warnings.warn(
-        "estimate_performance() is deprecated; use repro.Session."
-        "estimate(...) or PerfEstimator(compiled).estimate()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return PerfEstimator(compiled, machine).estimate()

@@ -3,7 +3,6 @@ simulator-backed)."""
 
 from .tables import (
     Table,
-    all_tables,
     table1_tomcatv,
     table1_tomcatv_simulated,
     table2_dgefa,
@@ -13,7 +12,6 @@ from .tables import (
 
 __all__ = [
     "Table",
-    "all_tables",
     "table1_tomcatv",
     "table1_tomcatv_simulated",
     "table2_dgefa",

@@ -8,7 +8,6 @@ returns a :class:`Table` whose rows mirror the paper's layout
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 from ..comm.costmodel import MachineModel
@@ -75,11 +74,12 @@ def _measure_rows(
     results = run_sweep(jobs, workers=0, manager=manager)
     times: list[float] = []
     for result in results:
-        if not result.ok:
+        record = result.as_dict()
+        if not record["ok"]:
             raise RuntimeError(
-                f"table grid point {result.label} failed:\n{result.error}"
+                f"table grid point {record['label']} failed:\n{result.error}"
             )
-        times.append(result.total_time)
+        times.append(record["total_time"])
     return [times[i : i + columns] for i in range(0, len(times), columns)]
 
 
@@ -183,27 +183,6 @@ def table3_appsp(
     table.rows = list(zip(procs, _measure_rows(jobs, 4, manager)))
     return table
 
-
-def all_tables() -> list[Table]:
-    """Regenerate every table of the paper's evaluation section.
-
-    .. deprecated::
-        Build tables through :class:`repro.Session` (share its manager
-        and cache with the table builders) or run the grid yourself via
-        :func:`repro.sweep.run_sweep`.
-    """
-    warnings.warn(
-        "all_tables() is deprecated; use repro.Session with the "
-        "table*_ builders, or repro.sweep.run_sweep for custom grids",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    manager = PassManager()
-    return [
-        table1_tomcatv(manager=manager),
-        table2_dgefa(manager=manager),
-        table3_appsp(manager=manager),
-    ]
 
 
 # ---------------------------------------------------------------------------

@@ -201,30 +201,39 @@ class SweepResult:
     report: str | None = None
 
     def as_dict(self) -> dict[str, Any]:
-        """Flat JSON-serializable record (sweep artifacts)."""
-        record: dict[str, Any] = {
-            "label": self.label,
-            "program": self.program,
-            "mode": self.mode,
-            "procs": self.procs,
-            "options": _describe_options(self.options) or "defaults",
-            "ok": self.ok,
-            "error": self.error,
-            "attempts": self.attempts,
-            "worker": self.worker,
-            "cache_hit": self.cache_hit,
-            "compile_dedup": self.compile_dedup,
-            "duration_s": self.duration_s,
-            "procs_lanes": self.procs_lanes,
-            "grid_size": self.grid_size,
-        }
+        """Flat JSON record in the shared :mod:`repro.records` schema
+        (``kind="sweep-point"``; the virtual clock serializes as
+        ``elapsed_s``, per-nest tier decisions surface as ``tiers``)."""
+        from ..records import result_record, tiers_of
+
+        record = result_record(
+            "sweep-point",
+            label=self.label,
+            program=self.program,
+            mode=self.mode,
+            procs=self.procs,
+            options=_describe_options(self.options) or "defaults",
+            ok=self.ok,
+            error=self.error,
+            attempts=self.attempts,
+            worker=self.worker,
+            cache_hit=self.cache_hit,
+            compile_dedup=self.compile_dedup,
+            duration_s=self.duration_s,
+            procs_lanes=self.procs_lanes,
+            grid_size=self.grid_size,
+        )
         if self.fallback_reason is not None:
             record["fallback_reason"] = self.fallback_reason
+        if self.elapsed is not None:
+            record["elapsed_s"] = self.elapsed
+        tiers = tiers_of(self.canonical_stats)
+        if tiers is not None:
+            record["tiers"] = tiers
         for name in (
             "total_time",
             "compute_time",
             "comm_time",
-            "elapsed",
             "canonical_stats",
             "slab_coverage",
             "messages",

@@ -199,32 +199,30 @@ class TestDiskCacheOnCli:
         assert stats[0] == stats[1]
 
 
-class TestDeprecationShims:
-    def test_estimate_performance_warns(self):
+class TestRetiredShims:
+    """The deprecated compatibility shims are gone (see the migration
+    table in docs/API.md): the replacements are Session.estimate and
+    the per-table builders on a shared manager."""
+
+    def test_estimate_performance_removed(self):
+        assert not hasattr(repro, "estimate_performance")
+        import repro.perf as perf
+
+        assert not hasattr(perf, "estimate_performance")
+        assert "estimate_performance" not in perf.__all__
+
+    def test_all_tables_removed(self):
+        assert not hasattr(repro, "all_tables")
+        import repro.report as report
+
+        assert not hasattr(report, "all_tables")
+        assert "all_tables" not in report.__all__
+
+    def test_replacement_surface_exists(self):
         compiled = compile_source(TOMCATV, CompilerOptions(num_procs=2))
-        with pytest.warns(DeprecationWarning, match="Session"):
-            estimate = repro.estimate_performance(compiled)
+        estimate = Session().estimate(compiled)
         assert estimate.total_time > 0
-
-    def test_all_tables_warns(self):
-        with pytest.warns(DeprecationWarning, match="Session"):
-            # tiny grid via monkeypatching is overkill: just check the
-            # warning fires before any heavy work by interrupting it
-            import repro.report.tables as tables
-
-            original = tables.table1_tomcatv
-            tables.table1_tomcatv = lambda **kw: (_ for _ in ()).throw(
-                _Sentinel()
-            )
-            try:
-                with pytest.raises(_Sentinel):
-                    repro.all_tables()
-            finally:
-                tables.table1_tomcatv = original
-
-
-class _Sentinel(Exception):
-    pass
+        assert callable(repro.table1_tomcatv)
 
 
 class TestCompileManyJobs:
